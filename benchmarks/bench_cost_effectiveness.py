@@ -1,0 +1,61 @@
+"""Cost-effectiveness: hello overhead versus forward savings.
+
+Section 7's verdicts — "algorithms based on 4-, 5-hop, or global
+information are not cost-effective", "NCR in general has the worst
+cost-effectiveness" — under the explicit message-count model of
+``repro.experiments.overhead``: richer configurations must amortise
+their extra hello rounds through saved forwards, and the benchmark
+reports the broadcast rate where each upgrade breaks even.
+"""
+
+from conftest import write_result
+
+from repro.experiments.overhead import crossover_broadcasts, measure_overhead
+
+CONFIGS = [
+    (2, "id"),
+    (3, "id"),
+    (5, "id"),
+    (2, "degree"),
+    (2, "ncr"),
+    (3, "ncr"),
+]
+
+
+def test_cost_effectiveness(benchmark):
+    def sweep():
+        return {
+            (hops, scheme): measure_overhead(hops, scheme, trials=12)
+            for hops, scheme in CONFIGS
+        }
+
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    base = points[(2, "id")]
+    lines = [
+        "configuration -> hello rounds, mean forwards, crossover vs 2-hop/id",
+        f"  baseline (2, id): {base.hello_rounds} rounds, "
+        f"{base.mean_forwards:.2f} forwards",
+    ]
+    crossovers = {}
+    for key, point in points.items():
+        if key == (2, "id"):
+            continue
+        rate = crossover_broadcasts(base, point)
+        crossovers[key] = rate
+        rate_text = "never" if rate is None else f"{rate:.0f} bcasts/period"
+        lines.append(
+            f"  {key}: {point.hello_rounds} rounds, "
+            f"{point.mean_forwards:.2f} forwards, breaks even at {rate_text}"
+        )
+    write_result("cost_effectiveness", "\n".join(lines))
+
+    # Every upgrade prunes at least roughly as well as the baseline.
+    for point in points.values():
+        assert point.mean_forwards <= base.mean_forwards * 1.05
+    # The paper's verdicts: deep views and NCR need implausibly many
+    # broadcasts per hello period to pay off (or never do), while the
+    # cheap 3-hop upgrade breaks even soonest among the richer options.
+    rate_3id = crossovers[(3, "id")]
+    for key in [(5, "id"), (3, "ncr")]:
+        rate = crossovers[key]
+        assert rate is None or rate >= rate_3id * 0.9, (key, rate)

@@ -1,0 +1,29 @@
+"""Figure 9: forward node sets on one sample 100-node network.
+
+The paper reports 49/45/41 forward nodes (static/FR/FRB) at 2-hop and
+46/42/36 at 3-hop on its sample network; the regenerated counts should
+show the same orderings: FRB <= FR <= static and 3-hop <= 2-hop.
+"""
+
+from conftest import write_result
+
+from repro.experiments.report import format_fig9, run_fig9_sample
+
+
+def test_fig9_sample_network(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig9_sample(n=100, degree=6.0, seed=9),
+        rounds=1,
+        iterations=1,
+    )
+    counts = result.counts()
+    text = format_fig9(result)
+    write_result("fig09", text)
+
+    for hops in (2, 3):
+        static = counts[(hops, "static")]
+        fr = counts[(hops, "FR")]
+        frb = counts[(hops, "FRB")]
+        assert frb <= fr <= static, (hops, static, fr, frb)
+    # More information never hurts the static forward set.
+    assert counts[(3, "static")] <= counts[(2, "static")]

@@ -1,0 +1,24 @@
+"""Figure 10: timing options — Static vs FR vs FRB vs FRBD.
+
+Expected shape (paper Section 7.1): the dynamic algorithms beat the
+static one, and the backoff variants beat plain first-receipt; FRBD is
+at worst on par with FRB.
+"""
+
+from conftest import run_figure_bench, series_total
+
+from repro.experiments.figures import fig10_timing
+
+
+def test_fig10_timing(benchmark):
+    tables = run_figure_bench(benchmark, fig10_timing, "fig10")
+    for table in tables:
+        static = series_total(table, "Static")
+        fr = series_total(table, "FR")
+        frb = series_total(table, "FRB")
+        frbd = series_total(table, "FRBD")
+        # Dynamic beats static.
+        assert fr <= static * 1.02, table.title
+        # Backoff beats plain first-receipt.
+        assert frb <= fr * 1.02, table.title
+        assert frbd <= fr * 1.05, table.title

@@ -1,0 +1,32 @@
+"""Figure 11: selection options — SP vs ND vs MaxDeg vs MinPri.
+
+Expected shape (paper Section 7.1): MinPri is the worst selection rule;
+SP, ND and MaxDeg stay close in sparse networks; in dense networks at
+n = 100, ND falls behind everything else because un-coordinated
+designations of common 2-hop neighbors pile up redundancy.
+"""
+
+from conftest import run_figure_bench, series_total
+
+from repro.experiments.figures import fig11_selection
+
+
+def test_fig11_selection(benchmark):
+    tables = run_figure_bench(benchmark, fig11_selection, "fig11")
+    sparse, dense = tables
+
+    # MinPri designates redundantly: never better than MaxDeg.
+    for table in tables:
+        assert series_total(table, "MaxDeg") <= (
+            series_total(table, "MinPri") * 1.02
+        ), table.title
+
+    # Sparse: SP, ND and MaxDeg stay close; MinPri is the worst.
+    close = [series_total(sparse, l) for l in ("SP", "ND", "MaxDeg")]
+    assert max(close) <= min(close) * 1.18
+    assert series_total(sparse, "MinPri") >= max(close) * 0.98
+
+    # Dense, n = 100: ND is the worst of the four.
+    nd_at_100 = dense.get_series("ND").value_at(100)
+    for label in ("SP", "MaxDeg", "MinPri"):
+        assert dense.get_series(label).value_at(100) <= nd_at_100 * 1.02, label

@@ -1,0 +1,23 @@
+"""Figure 12: space — 2/3/4/5-hop versus global views.
+
+Expected shape (paper Section 7.1): performance improves with the view
+radius but with quickly diminishing returns — 2- and 3-hop information
+come close to global information.
+"""
+
+from conftest import run_figure_bench, series_total
+
+from repro.experiments.figures import fig12_space
+
+
+def test_fig12_space(benchmark):
+    tables = run_figure_bench(benchmark, fig12_space, "fig12")
+    for table in tables:
+        two = series_total(table, "2-hop")
+        three = series_total(table, "3-hop")
+        world = series_total(table, "global")
+        # Monotone improvement with radius (small sampling slack).
+        assert three <= two * 1.03, table.title
+        assert world <= two * 1.03, table.title
+        # Diminishing returns: 3-hop lands within 15% of global.
+        assert three <= world * 1.15, table.title

@@ -1,0 +1,30 @@
+"""Figure 13: priority functions — ID vs Degree vs NCR.
+
+Expected shape (paper Section 7.1): NCR <= Degree <= ID in sparse
+networks, with Degree close to NCR; in dense networks all three stay
+close.
+"""
+
+from conftest import run_figure_bench, series_total
+
+from repro.experiments.figures import fig13_priority
+
+
+def test_fig13_priority(benchmark):
+    tables = run_figure_bench(benchmark, fig13_priority, "fig13")
+    sparse, dense = tables
+
+    # Sparse: Degree and NCR clearly beat ID.
+    assert series_total(sparse, "Degree") <= series_total(sparse, "ID")
+    assert series_total(sparse, "NCR") <= series_total(sparse, "ID")
+    # ... and Degree is very close to NCR.
+    assert series_total(sparse, "Degree") <= series_total(sparse, "NCR") * 1.10
+
+    # Dense: the importance of a good indicator shrinks — the three
+    # metrics land within 15% of each other (paper: "stay very close").
+    values = [
+        series_total(dense, label) for label in ("ID", "Degree", "NCR")
+    ]
+    assert max(values) <= min(values) * 1.15
+    # ... and the ordering NCR <= ID still holds on aggregate.
+    assert series_total(dense, "NCR") <= series_total(dense, "ID") * 1.02

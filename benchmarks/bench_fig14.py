@@ -1,0 +1,25 @@
+"""Figure 14: static algorithms — MPR, Span, Rule-k, Generic.
+
+Expected shape (paper Section 7.2): worst to best is MPR, Span, Rule-k,
+Generic; Span trails Rule-k because of its bounded replacement paths,
+and Generic edges out Rule-k by using the unrestricted coverage
+condition.
+"""
+
+from conftest import run_figure_bench, series_total
+
+from repro.experiments.figures import fig14_static
+
+
+def test_fig14_static(benchmark):
+    tables = run_figure_bench(benchmark, fig14_static, "fig14")
+    for table in tables:
+        mpr = series_total(table, "MPR")
+        span = series_total(table, "Span")
+        rule_k = series_total(table, "Rule k")
+        generic = series_total(table, "Generic")
+        # Generic is the best of the self-pruning trio.
+        assert generic <= rule_k * 1.02, table.title
+        assert rule_k <= span * 1.03, table.title
+        # MPR never beats the generic framework.
+        assert generic <= mpr * 1.02, table.title

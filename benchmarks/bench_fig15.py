@@ -1,0 +1,27 @@
+"""Figure 15: first-receipt algorithms — DP, PDP, LENWB, Generic.
+
+Expected shape (paper Section 7.2): worst to best is DP, PDP, LENWB,
+Generic; the neighbor-designating pair trails the self-pruning pair by a
+clear margin, and LENWB approximates Generic closely.
+"""
+
+from conftest import run_figure_bench, series_total
+
+from repro.experiments.figures import fig15_first_receipt
+
+
+def test_fig15_first_receipt(benchmark):
+    tables = run_figure_bench(benchmark, fig15_first_receipt, "fig15")
+    for table in tables:
+        dp = series_total(table, "DP")
+        pdp = series_total(table, "PDP")
+        lenwb = series_total(table, "LENWB")
+        generic = series_total(table, "Generic")
+        # PDP refines DP.
+        assert pdp <= dp * 1.02, table.title
+        # Self-pruning beats neighbor-designating.
+        assert lenwb <= pdp * 1.03, table.title
+        assert generic <= dp, table.title
+        # LENWB is a good approximation of Generic (within 12%).
+        assert generic <= lenwb * 1.02, table.title
+        assert lenwb <= generic * 1.12, table.title

@@ -1,0 +1,20 @@
+"""Figure 16: first-receipt-with-backoff — SBA vs Generic.
+
+Expected shape (paper Section 7.2): Generic significantly outperforms
+SBA, because SBA demands direct neighbor coverage by visited nodes while
+the coverage condition also accepts indirect coverage through
+higher-priority intermediates.
+"""
+
+from conftest import run_figure_bench, series_total
+
+from repro.experiments.figures import fig16_backoff
+
+
+def test_fig16_backoff(benchmark):
+    tables = run_figure_bench(benchmark, fig16_backoff, "fig16")
+    for table in tables:
+        sba = series_total(table, "SBA")
+        generic = series_total(table, "Generic")
+        # A significant, not marginal, win.
+        assert generic <= sba * 0.9, table.title

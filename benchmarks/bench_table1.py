@@ -1,0 +1,13 @@
+"""Table 1: classification of existing distributed broadcast algorithms."""
+
+from conftest import write_result
+
+from repro.experiments.report import format_table1
+
+
+def test_table1(benchmark):
+    text = benchmark(format_table1)
+    write_result("table1", text)
+    assert "static" in text
+    assert "mpr" in text
+    assert "sba" in text

@@ -1,0 +1,81 @@
+"""Workload benchmarks: aggregate cost and fairness over broadcast streams.
+
+Quantifies the static-versus-dynamic trade the paper describes in
+Section 2 — a stable backbone versus a per-broadcast forward set — at
+the level of a whole stream of broadcasts, and the fairness effect of
+rotating priorities (Span's energy motivation).
+"""
+
+import random
+
+from conftest import write_result
+
+from repro.algorithms.base import Timing
+from repro.algorithms.generic import GenericSelfPruning, GenericStatic
+from repro.core.priority import RandomEpochPriority
+from repro.experiments.workload import BroadcastWorkload
+from repro.graph.generators import random_connected_network
+
+BROADCASTS = 30
+N = 40
+
+
+def _network():
+    return random_connected_network(N, 6.0, random.Random(1234))
+
+
+def test_stream_cost_static_vs_dynamic(benchmark):
+    net = _network()
+
+    def run():
+        static = BroadcastWorkload(
+            net.topology, lambda: GenericStatic(hops=2)
+        ).run(BROADCASTS, rng=random.Random(1))
+        dynamic = BroadcastWorkload(
+            net.topology,
+            lambda: GenericSelfPruning(Timing.FIRST_RECEIPT, hops=2),
+        ).run(BROADCASTS, rng=random.Random(1))
+        return static, dynamic
+
+    static, dynamic = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "workload_cost",
+        f"{BROADCASTS} broadcasts, n={N}, d=6\n"
+        f"  static : {static.total_transmissions} transmissions, "
+        f"fairness {static.fairness():.3f}, "
+        f"mean latency {static.mean_latency():.2f}\n"
+        f"  dynamic: {dynamic.total_transmissions} transmissions, "
+        f"fairness {dynamic.fairness():.3f}, "
+        f"mean latency {dynamic.mean_latency():.2f}",
+    )
+    # Dynamic saves transmissions over the stream.
+    assert dynamic.total_transmissions <= static.total_transmissions
+
+
+def test_priority_rotation_fairness(benchmark):
+    net = _network()
+    factory = lambda: GenericSelfPruning(Timing.FIRST_RECEIPT, hops=2)
+
+    def run():
+        fixed = BroadcastWorkload(net.topology, factory).run(
+            BROADCASTS, rng=random.Random(2)
+        )
+        rotating = BroadcastWorkload(net.topology, factory).run(
+            BROADCASTS,
+            rng=random.Random(2),
+            scheme_factory=lambda epoch: RandomEpochPriority(seed=epoch),
+        )
+        return fixed, rotating
+
+    fixed, rotating = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "workload_fairness",
+        f"{BROADCASTS} broadcasts, n={N}, d=6 (generic FR)\n"
+        f"  fixed id priority : fairness {fixed.fairness():.3f}, "
+        f"max load {fixed.max_load()}\n"
+        f"  rotating priority : fairness {rotating.fairness():.3f}, "
+        f"max load {rotating.max_load()}",
+    )
+    assert rotating.fairness() > fixed.fairness()
+    # Rotation costs little: total transmissions within 15%.
+    assert rotating.total_transmissions <= fixed.total_transmissions * 1.15

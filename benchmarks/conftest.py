@@ -1,0 +1,71 @@
+"""Shared benchmark configuration.
+
+Each ``bench_figXX`` module regenerates one paper figure: it runs the
+figure's sweep under pytest-benchmark (one round — the sweep itself is
+already an aggregate over many sampled networks) and writes the resulting
+paper-style tables to ``benchmarks/results/<figure>.txt`` so the rows can
+be inspected after the run and compared against EXPERIMENTS.md.
+
+The sweeps use the paper's node counts thinned to {20, 40, 60, 80, 100}
+and a bounded repetition rule (min 10 / max 25 samples per point instead
+of CI-until-±1%) so the whole benchmark suite finishes in minutes.  The
+CLI (``python -m repro.experiments <fig>``) runs the unbounded
+paper-precision version.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.config import RunSettings
+
+#: Thinned sweep used by every figure benchmark.
+BENCH_NS = (20, 40, 60, 80, 100)
+
+#: Bounded repetition settings for benchmark runs.
+BENCH_SETTINGS = RunSettings(
+    min_runs=10,
+    max_runs=25,
+    relative_half_width=0.02,
+    seed=20030519,
+)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_result(name: str, text: str) -> None:
+    """Persist a figure's regenerated rows under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def bench_settings() -> RunSettings:
+    return BENCH_SETTINGS
+
+
+def run_figure_bench(benchmark, builder, name: str):
+    """Run one figure sweep under the benchmark and persist its tables.
+
+    Returns the list of :class:`~repro.metrics.results.ResultTable`, one
+    per panel, for shape assertions in the calling benchmark module.
+    """
+    from repro.experiments.runner import run_figure
+    from repro.metrics.results import format_table
+
+    figure = builder(ns=BENCH_NS)
+    tables = benchmark.pedantic(
+        lambda: run_figure(figure, BENCH_SETTINGS), rounds=1, iterations=1
+    )
+    text = "\n\n".join(format_table(table) for table in tables)
+    write_result(name, text)
+    return tables
+
+
+def series_total(table, label: str) -> float:
+    """Sum of a series' means across the sweep (aggregate comparison)."""
+    return sum(table.get_series(label).means())

@@ -1,0 +1,84 @@
+"""Network lifetime: how pruning and priority rotation delay node death.
+
+Span's reason for existing is energy: rotate coordinator duty so no node
+burns out early.  This example charges a per-node battery for every
+transmission and reception, then broadcasts from random sources until
+the first node dies, under four regimes:
+
+1. blind flooding (everyone transmits every broadcast),
+2. coverage-condition pruning with fixed id priorities,
+3. pruning with randomly rotating priorities,
+4. pruning with energy-aware priorities (residual energy = priority).
+
+Run:  python examples/energy_lifetime.py
+"""
+
+import random
+
+from repro.algorithms.base import Timing
+from repro.algorithms.flooding import Flooding
+from repro.algorithms.generic import GenericSelfPruning
+from repro.core.priority import RandomEpochPriority
+from repro.graph.generators import random_connected_network
+from repro.sim.energy import (
+    EnergyAwarePriority,
+    EnergyTracker,
+    network_lifetime,
+)
+
+N = 40
+DEGREE = 14.0
+INITIAL = 40.0
+
+
+def measure(graph, protocol_factory, scheme_factory=None):
+    tracker = EnergyTracker(
+        graph.nodes(), initial=INITIAL,
+        transmit_cost=1.0, receive_cost=0.05,
+    )
+    result = network_lifetime(
+        graph, protocol_factory, tracker,
+        scheme_factory=scheme_factory, rng=random.Random(5),
+    )
+    return result.broadcasts, result.survivors()
+
+
+def main() -> None:
+    graph = random_connected_network(
+        N, DEGREE, random.Random(99)
+    ).topology
+    pruning = lambda: GenericSelfPruning(Timing.FIRST_RECEIPT, hops=2)
+    epoch = {"n": 0}
+
+    def rotating(tracker):
+        epoch["n"] += 1
+        return RandomEpochPriority(seed=epoch["n"])
+
+    regimes = [
+        ("flooding", Flooding, None),
+        ("pruning, fixed priority", pruning, None),
+        ("pruning, rotating priority", pruning, rotating),
+        (
+            "pruning, energy-aware",
+            pruning,
+            lambda tracker: EnergyAwarePriority(tracker.snapshot()),
+        ),
+    ]
+
+    print(
+        f"battery {INITIAL:g} units, transmit 1.0, receive 0.05 "
+        f"(n={N}, d={DEGREE:g})\n"
+    )
+    print(f"{'regime':30s} {'lifetime':>9s} {'survivors':>10s}")
+    print("-" * 52)
+    for name, factory, scheme_factory in regimes:
+        lifetime, survivors = measure(graph, factory, scheme_factory)
+        print(f"{name:30s} {lifetime:9d} {survivors:10d}")
+    print(
+        "\nlifetime = broadcasts until the first node dies; rotating duty "
+        "by residual energy stretches it furthest (Span's thesis)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Broadcasting over a network with heterogeneous transmission powers.
+
+Paper assumption 3 requires bidirectional links and points at sublayers
+that filter unidirectional ones out.  This example runs that pipeline:
+
+1. nodes get heterogeneous transmission ranges (e.g. mixed battery
+   states), producing *directed* links — a strong sender reaches a weak
+   node that cannot answer;
+2. the bidirectional abstraction keeps only the symmetric core;
+3. the broadcast framework runs on the core, with hello acknowledgements
+   and replacement paths guaranteed to be two-way.
+
+Run:  python examples/heterogeneous_ranges.py
+"""
+
+import random
+
+from repro.algorithms.base import Timing
+from repro.algorithms.generic import GenericSelfPruning
+from repro.graph.bidirectional import (
+    bidirectional_abstraction,
+    links_from_ranges,
+)
+from repro.graph.geometry import Area, random_points
+from repro.sim.engine import run_broadcast
+
+
+def main() -> None:
+    rng = random.Random(23)
+    area = Area()
+    while True:
+        positions = random_points(50, area, rng)
+        # Two device classes: strong (range 35) and weak (range 22).
+        ranges = {
+            node: 35.0 if rng.random() < 0.5 else 22.0
+            for node in positions
+        }
+        links = links_from_ranges(positions, ranges)
+        core = bidirectional_abstraction(links)
+        if core.is_connected():
+            break
+
+    directed = len(links.links())
+    asymmetric = directed - 2 * core.edge_count()
+    print(f"nodes                 : {len(positions)}")
+    print(f"directed links        : {directed}")
+    print(
+        f"unidirectional links  : {asymmetric} "
+        f"({asymmetric / directed:.0%} of all links, filtered out)"
+    )
+    print(f"bidirectional core    : {core.edge_count()} symmetric links")
+
+    outcome = run_broadcast(
+        core,
+        GenericSelfPruning(Timing.FIRST_RECEIPT, hops=2),
+        source=0,
+        rng=rng,
+    )
+    print(
+        f"\nbroadcast on the core : {outcome.forward_count} forward nodes, "
+        f"{len(outcome.delivered)}/{core.node_count()} delivered"
+    )
+    assert len(outcome.delivered) == core.node_count()
+    print(
+        "every replacement path is two-way usable — assumption 3 restored "
+        "by the abstraction sublayer"
+    )
+
+
+if __name__ == "__main__":
+    main()

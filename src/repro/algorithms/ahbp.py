@@ -1,0 +1,41 @@
+"""AHBP — the Ad Hoc Broadcast Protocol of Peng and Lu.
+
+The remaining member of the paper's neighbor-designating taxonomy
+(Section 1 cites it alongside DP and MPR).  Like dominant pruning, a
+forwarding node designates *broadcast relay gateways* (BRGs) from its
+1-hop neighbors to cover its 2-hop neighborhood; unlike DP, the packet
+carries the sender's BRG set, and the next relay discounts every 2-hop
+target already covered by the **sender's other BRGs** — they are
+guaranteed to forward too, so covering their neighborhoods again is pure
+redundancy.
+
+In this library's terms AHBP is dominant pruning with a designation-
+aware target reduction: ``Y = N2(v) − N(u) − N(v) − ∪_{w ∈ D(u)} N(w)``.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from .base import NodeContext
+from .dominant_pruning import DominantPruning
+
+__all__ = ["AHBP"]
+
+
+class AHBP(DominantPruning):
+    """Dominant pruning minus the co-designated BRGs' coverage."""
+
+    name = "ahbp"
+
+    def reduce_targets(self, ctx: NodeContext, targets: Set[int]) -> Set[int]:
+        packet = ctx.first_packet
+        if packet is None:
+            return targets
+        graph = ctx.view_graph
+        reduced = set(targets)
+        for gateway in packet.designated_by_sender():
+            if gateway == ctx.node or gateway not in graph:
+                continue
+            reduced -= set(graph.neighbors(gateway)) | {gateway}
+        return reduced

@@ -1,0 +1,58 @@
+"""Shared designated-forward-neighbor selection machinery.
+
+Neighbor-designating protocols (DP/TDP/PDP, MPR, the hybrids, and the
+generic ND instance) all reduce to greedy set cover: pick 1-hop neighbors
+whose neighborhoods cover a target set of 2-hop neighbors.  The paper:
+"designated forward neighbors should be those covering at least one 2-hop
+neighbor of the current node (otherwise, they will not contribute in
+coverage)."
+
+Targets that no candidate can reach are dropped before the greedy run.
+This situation arises by construction — e.g. under DP a 2-hop neighbor of
+``v`` reachable only through ``N(u) ∩ N(v)`` is excluded from ``v``'s
+candidate set ``X = N(v) − N(u)`` yet still sits in the target set
+``Y = N2(v) − N(u) − N(v)``; such a node lies in ``N2(u)`` and is covered
+by ``u``'s own designation, so dropping it is sound (PDP makes exactly this
+reduction explicit).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Set
+
+from ..graph.cds import greedy_set_cover
+from ..graph.topology import Topology
+
+__all__ = ["coverage_map", "greedy_cover_designation"]
+
+
+def coverage_map(
+    view_graph: Topology, candidates: Iterable[int], targets: Set[int]
+) -> Dict[int, Set[int]]:
+    """Per-candidate effective coverage ``N(w) ∩ targets`` in the view."""
+    return {
+        w: set(view_graph.neighbors(w)) & targets
+        for w in candidates
+        if w in view_graph
+    }
+
+
+def greedy_cover_designation(
+    view_graph: Topology,
+    candidates: Iterable[int],
+    targets: Set[int],
+) -> FrozenSet[int]:
+    """Greedy minimal designation of ``candidates`` covering ``targets``.
+
+    Uncoverable targets are removed first (see module docstring); an empty
+    (post-restriction) target set yields an empty designation.
+    """
+    cover = coverage_map(view_graph, candidates, targets)
+    reachable: Set[int] = set()
+    for covered in cover.values():
+        reachable |= covered
+    effective_targets = targets & reachable
+    if not effective_targets:
+        return frozenset()
+    chosen = greedy_set_cover(effective_targets, cover)
+    return frozenset(chosen)

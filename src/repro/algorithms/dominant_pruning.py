@@ -1,0 +1,92 @@
+"""Dominant pruning and its refinements: DP, TDP, PDP.
+
+All three are strict neighbor-designating, first-receipt protocols: only
+designated nodes (and the source) forward, and a forwarding node ``v``
+that received the packet from ``u`` greedily designates neighbors to cover
+its not-yet-covered 2-hop neighborhood.  They differ in how much of
+``N2(v)`` they must still cover:
+
+* **DP** (Lim & Kim): candidates ``X = N(v) − N(u)``, targets
+  ``Y = N2(v) − N(u) − N(v)``;
+* **TDP** (Lou & Wu): the packet piggybacks ``N2(u)``, so
+  ``Y = N2(v) − N2(u)`` — fewer targets at the cost of fatter packets;
+* **PDP** (Lou & Wu): no piggybacking; additionally removes the neighbors
+  of common neighbors, ``Y = N2(v) − N(u) − N(v) − N(N(u) ∩ N(v))``,
+  achieving nearly TDP's reduction for free.
+
+Targets unreachable from the candidate set are dropped (they lie in the
+previous forwarder's coverage responsibility — see
+``repro.algorithms.designation``).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Set
+
+from .base import BroadcastProtocol, NodeContext, Timing
+from .designation import greedy_cover_designation
+
+__all__ = ["DominantPruning", "TotalDominantPruning", "PartialDominantPruning"]
+
+
+class DominantPruning(BroadcastProtocol):
+    """Lim and Kim's dominant pruning."""
+
+    name = "dp"
+    timing = Timing.FIRST_RECEIPT
+    hops = 2
+    piggyback_h = 1
+    strict_designation = True
+
+    def should_forward(self, ctx: NodeContext) -> bool:
+        return False
+
+    def designate(self, ctx: NodeContext) -> FrozenSet[int]:
+        graph = ctx.view_graph
+        node = ctx.node
+        neighbors = set(graph.neighbors(node))
+        candidates = set(neighbors)
+        targets = set(graph.k_hop_neighbors(node, 2)) - neighbors - {node}
+        sender = ctx.first_sender
+        if sender is not None and sender in graph:
+            sender_nbrs = set(graph.neighbors(sender)) | {sender}
+            candidates -= sender_nbrs
+            targets -= sender_nbrs
+        targets = self.reduce_targets(ctx, targets)
+        return greedy_cover_designation(graph, candidates, targets)
+
+    def reduce_targets(self, ctx: NodeContext, targets: Set[int]) -> Set[int]:
+        """Hook for TDP/PDP target reduction; DP keeps all targets."""
+        return targets
+
+
+class TotalDominantPruning(DominantPruning):
+    """TDP: the sender piggybacks ``N2(u)``; cover only ``N2(v) − N2(u)``."""
+
+    name = "tdp"
+    piggyback_two_hop = True
+
+    def reduce_targets(self, ctx: NodeContext, targets: Set[int]) -> Set[int]:
+        packet = ctx.first_packet
+        if packet is None or packet.sender_two_hop is None:
+            return targets
+        return targets - packet.sender_two_hop
+
+
+class PartialDominantPruning(DominantPruning):
+    """PDP: drop neighbors of the common neighbors ``N(N(u) ∩ N(v))``."""
+
+    name = "pdp"
+
+    def reduce_targets(self, ctx: NodeContext, targets: Set[int]) -> Set[int]:
+        sender = ctx.first_sender
+        graph = ctx.view_graph
+        if sender is None or sender not in graph:
+            return targets
+        common = set(graph.neighbors(sender)) & set(
+            graph.neighbors(ctx.node)
+        )
+        reduced = set(targets)
+        for w in common:
+            reduced -= set(graph.neighbors(w))
+        return reduced

@@ -1,0 +1,24 @@
+"""Blind flooding: the zero-information baseline.
+
+Every node forwards the broadcast packet exactly once.  Flooding trivially
+ensures coverage on a connected graph and marks the upper end of the
+forward-node-count scale against which all pruning schemes are measured.
+"""
+
+from __future__ import annotations
+
+from .base import BroadcastProtocol, NodeContext, Timing
+
+__all__ = ["Flooding"]
+
+
+class Flooding(BroadcastProtocol):
+    """Forward on first receipt, unconditionally."""
+
+    name = "flooding"
+    timing = Timing.FIRST_RECEIPT
+    hops = 1
+    piggyback_h = 0
+
+    def should_forward(self, ctx: NodeContext) -> bool:
+        return True

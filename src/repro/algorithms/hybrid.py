@@ -1,0 +1,109 @@
+"""The dynamic hybrid algorithms of Section 6.4 (MaxDeg and MinPri).
+
+A hybrid of self-pruning and neighbor-designating, first-receipt timing:
+
+* a node designated by the previous forwarder must forward (the strict
+  rule used in the paper's Figure 11 comparison);
+* any other node applies the generic coverage condition to decide for
+  itself;
+* a forwarding node ``v`` selects **one** designated forward neighbor
+  ``w ∉ {u} ∪ D(u)`` that covers at least one yet-uncovered 2-hop
+  neighbor of ``v`` — choosing the maximum effective degree (``MaxDeg``)
+  or the lowest id (``MinPri``).
+
+Only 2-hop information is required.  MaxDeg is the new algorithm the
+paper's simulations single out as outperforming both pure self-pruning
+and pure neighbor-designating in sparse networks.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Set
+
+from ..core.coverage import coverage_condition
+from .base import BroadcastProtocol, NodeContext, Timing
+
+__all__ = ["Hybrid", "MaxDegHybrid", "MinPriHybrid"]
+
+
+class Hybrid(BroadcastProtocol):
+    """Self-pruning plus single-neighbor designation."""
+
+    timing = Timing.FIRST_RECEIPT
+    hops = 2
+    piggyback_h = 1
+    strict_designation = True
+
+    #: ``"maxdeg"`` or ``"minpri"`` — the designated-neighbor choice rule.
+    selection: str = "maxdeg"
+
+    def should_forward(self, ctx: NodeContext) -> bool:
+        return not coverage_condition(ctx.view(), ctx.node)
+
+    def designate(self, ctx: NodeContext) -> FrozenSet[int]:
+        graph = ctx.view_graph
+        node = ctx.node
+        neighbors = set(graph.neighbors(node))
+        uncovered = set(graph.k_hop_neighbors(node, 2)) - neighbors - {node}
+        candidates = set(neighbors)
+        sender = ctx.first_sender
+        if sender is not None:
+            candidates.discard(sender)
+            if sender in graph:
+                uncovered -= set(graph.neighbors(sender)) | {sender}
+        if ctx.first_packet is not None:
+            prior = ctx.first_packet.designated_by_sender()
+            candidates -= prior
+            for x in prior:
+                if x in graph:
+                    uncovered -= set(graph.neighbors(x)) | {x}
+        chosen = self._choose(graph, candidates, uncovered)
+        return frozenset({chosen}) if chosen is not None else frozenset()
+
+    def _choose(
+        self, graph, candidates: Set[int], uncovered: Set[int]
+    ) -> Optional[int]:
+        contributing = {
+            w: len(set(graph.neighbors(w)) & uncovered)
+            for w in candidates
+            if set(graph.neighbors(w)) & uncovered
+        }
+        if not contributing:
+            return None
+        if self.selection == "maxdeg":
+            # Max effective degree; id breaks ties (lowest wins).
+            return max(contributing, key=lambda w: (contributing[w], -w))
+        return min(contributing)
+
+
+class MaxDegHybrid(Hybrid):
+    """Designate the neighbor with the maximum effective node degree."""
+
+    name = "hybrid-maxdeg"
+    selection = "maxdeg"
+
+
+class MinPriHybrid(Hybrid):
+    """Designate the contributing neighbor with the lowest id."""
+
+    name = "hybrid-minpri"
+    selection = "minpri"
+
+
+class RelaxedMaxDegHybrid(Hybrid):
+    """MaxDeg under the relaxed designation rule of Section 4.2.
+
+    A designated node forwards only if the coverage condition fails *at
+    its raised S = 1.5 priority* — the paper's ``S(v, t) = 1.5`` status
+    for "unvisited but designated" nodes.  The raised threshold is
+    essential: re-evaluating at the old S = 1 priority would let a node
+    designated *after* its non-forward decision stay silent while other
+    nodes already rely on its 1.5 rank as a replacement intermediate,
+    closing a cyclic dependency that breaks coverage (the engine
+    re-evaluates designated nodes to prevent exactly that).
+    """
+
+    name = "hybrid-maxdeg-relaxed"
+    selection = "maxdeg"
+    strict_designation = False
+    relaxed_designation = True

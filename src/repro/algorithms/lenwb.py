@@ -1,0 +1,76 @@
+"""LENWB — Lightweight and Efficient Network-Wide Broadcast (Sucec & Marsic).
+
+First-receipt self-pruning: when node ``v`` receives the broadcast packet
+from ``u``, it computes the set ``C`` of nodes connected to ``u`` via
+nodes with priorities higher than ``v``'s.  If ``N(v) ⊆ C``, node ``v`` is
+non-forward.  In coverage-condition terms this is the strong coverage
+condition with a coverage set built around a single visited node — the
+last forwarder — plus un-visited higher-priority nodes.
+
+The original configuration uses node degree as the priority and 2-hop
+information; the connectivity requirement is evaluated inside the k-hop
+view, the paper's "restricted implementation".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Set
+
+from ..core.views import View
+from .base import BroadcastProtocol, NodeContext, Timing
+
+__all__ = ["LENWB", "connected_via_higher_priority"]
+
+
+def connected_via_higher_priority(view: View, start: int, v: int) -> Set[int]:
+    """Nodes connected to ``start`` via intermediates above ``Pr(v)``.
+
+    Returns the set ``C``: the component of ``start`` within the
+    higher-priority subgraph, plus every node adjacent to it (a path may
+    *end* at any node; only intermediates need the priority).  ``start``
+    itself must rank above ``v`` — with LENWB it is the visited last
+    forwarder, whose status-2 priority tops everything.
+    """
+    threshold = view.priority(v)
+    eligible = {
+        node
+        for node in view.graph
+        if node != v and view.priority(node) > threshold
+    }
+    if start not in eligible:
+        return set()
+    component: Set[int] = {start}
+    frontier = deque([start])
+    while frontier:
+        node = frontier.popleft()
+        for neighbor in view.graph.neighbors(node):
+            if neighbor in eligible and neighbor not in component:
+                component.add(neighbor)
+                frontier.append(neighbor)
+    reachable = set(component)
+    for node in component:
+        reachable |= view.graph.neighbors(node)
+    reachable.discard(v)
+    return reachable
+
+
+class LENWB(BroadcastProtocol):
+    """Forward unless ``N(v)`` is reachable from the last forwarder."""
+
+    name = "lenwb"
+    timing = Timing.FIRST_RECEIPT
+    hops = 2
+    piggyback_h = 1
+
+    def should_forward(self, ctx: NodeContext) -> bool:
+        sender = ctx.first_sender
+        if sender is None:  # pragma: no cover - source is engine-forced
+            return True
+        # LENWB uses only the last visited node: the view marks just the
+        # sender as visited, regardless of other snooped information.
+        view = ctx.env.make_view(
+            ctx.view_graph, frozenset({sender}), frozenset()
+        )
+        covered = connected_via_higher_priority(view, sender, ctx.node)
+        return not (set(view.graph.neighbors(ctx.node)) <= covered)

@@ -1,0 +1,31 @@
+"""Relay over an externally computed forward set.
+
+Useful whenever the forward set comes from outside the engine: a
+conservative mobility-managed set (``repro.core.conservative``), a CDS
+produced by the global greedy algorithm, or a set loaded from a file.
+The protocol simply relays over the given nodes — the engine then
+measures delivery, latency, and redundancy for it.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+from .base import BroadcastProtocol, NodeContext, Timing
+
+__all__ = ["PrecomputedForwardSet"]
+
+
+class PrecomputedForwardSet(BroadcastProtocol):
+    """Forward on first receipt iff the node is in the given set."""
+
+    timing = Timing.FIRST_RECEIPT
+    hops = 1
+    piggyback_h = 0
+
+    def __init__(self, forward_nodes: Iterable[int], name: str = "precomputed"):
+        self.forward_set: FrozenSet[int] = frozenset(forward_nodes)
+        self.name = name
+
+    def should_forward(self, ctx: NodeContext) -> bool:
+        return ctx.node in self.forward_set

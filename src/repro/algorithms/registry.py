@@ -1,0 +1,193 @@
+"""Protocol registry and the paper's Table 1 classification.
+
+Maps protocol names to factories plus classification metadata (timing
+category and selection style), from which the Table 1 reproduction is
+generated.  Factories take no arguments and return fresh protocol
+instances with the configuration used in the paper's comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from .ahbp import AHBP
+from .base import BroadcastProtocol, Timing
+from .dominant_pruning import (
+    DominantPruning,
+    PartialDominantPruning,
+    TotalDominantPruning,
+)
+from .flooding import Flooding
+from .generic import (
+    GenericNeighborDesignating,
+    GenericSelfPruning,
+    GenericStatic,
+)
+from .hybrid import MaxDegHybrid, MinPriHybrid, RelaxedMaxDegHybrid
+from .lenwb import LENWB
+from .mpr import MultipointRelay
+from .rule_k import RuleK
+from .sba import SBA
+from .span import Span
+from .stojmenovic import Stojmenovic
+from .wu_li import WuLi
+
+__all__ = ["ProtocolInfo", "REGISTRY", "create", "names", "table1_rows"]
+
+Factory = Callable[[], BroadcastProtocol]
+
+
+@dataclass(frozen=True)
+class ProtocolInfo:
+    """Registry entry: factory plus classification metadata."""
+
+    name: str
+    factory: Factory
+    category: str  # "static" | "first-receipt" | "first-receipt-with-backoff"
+    selection: str  # "self-pruning" | "neighbor-designating" | "hybrid"
+    existing: bool  # appears in the paper's Table 1 (vs derived/generic)
+    reference: str
+
+
+def _entries() -> List[ProtocolInfo]:
+    return [
+        ProtocolInfo(
+            "flooding", Flooding, "first-receipt", "self-pruning", False,
+            "baseline",
+        ),
+        ProtocolInfo(
+            "wu-li", WuLi, "static", "self-pruning", True,
+            "Wu & Li 1999 (marking + Rules 1, 2)",
+        ),
+        ProtocolInfo(
+            "rule-k", RuleK, "static", "self-pruning", True,
+            "Dai & Wu 2003 (Rule k)",
+        ),
+        ProtocolInfo(
+            "span", Span, "static", "self-pruning", True,
+            "Chen et al. 2002 (enhanced Span)",
+        ),
+        ProtocolInfo(
+            "mpr", MultipointRelay, "static", "neighbor-designating", True,
+            "Qayyum et al. 2002 (multipoint relays)",
+        ),
+        ProtocolInfo(
+            "lenwb", LENWB, "first-receipt", "self-pruning", True,
+            "Sucec & Marsic 2000 (LENWB)",
+        ),
+        ProtocolInfo(
+            "dp", DominantPruning, "first-receipt", "neighbor-designating",
+            True, "Lim & Kim 2001 (dominant pruning)",
+        ),
+        ProtocolInfo(
+            "tdp", TotalDominantPruning, "first-receipt",
+            "neighbor-designating", False, "Lou & Wu 2002 (TDP)",
+        ),
+        ProtocolInfo(
+            "pdp", PartialDominantPruning, "first-receipt",
+            "neighbor-designating", True, "Lou & Wu 2002 (PDP)",
+        ),
+        ProtocolInfo(
+            "ahbp", AHBP, "first-receipt", "neighbor-designating",
+            False, "Peng & Lu 2002 (AHBP)",
+        ),
+        ProtocolInfo(
+            "sba", SBA, "first-receipt-with-backoff", "self-pruning", True,
+            "Peng & Lu 2000 (SBA)",
+        ),
+        ProtocolInfo(
+            "stojmenovic", Stojmenovic, "first-receipt-with-backoff",
+            "self-pruning", False,
+            "Stojmenovic et al. 2002 (neighbor elimination)",
+        ),
+        ProtocolInfo(
+            "hybrid-maxdeg", MaxDegHybrid, "first-receipt", "hybrid", False,
+            "Section 6.4 (MaxDeg)",
+        ),
+        ProtocolInfo(
+            "hybrid-minpri", MinPriHybrid, "first-receipt", "hybrid", False,
+            "Section 6.4 (MinPri)",
+        ),
+        ProtocolInfo(
+            "hybrid-maxdeg-relaxed", RelaxedMaxDegHybrid, "first-receipt",
+            "hybrid", False, "Section 4.2 relaxed designation (MaxDeg)",
+        ),
+        ProtocolInfo(
+            "generic-nd", GenericNeighborDesignating, "first-receipt",
+            "neighbor-designating", False, "generic framework (ND instance)",
+        ),
+        ProtocolInfo(
+            "generic-static", GenericStatic, "static", "self-pruning", False,
+            "generic framework (static)",
+        ),
+        ProtocolInfo(
+            "generic-fr",
+            lambda: GenericSelfPruning(Timing.FIRST_RECEIPT),
+            "first-receipt", "self-pruning", False,
+            "generic framework (first receipt)",
+        ),
+        ProtocolInfo(
+            "generic-frb",
+            lambda: GenericSelfPruning(Timing.FIRST_RECEIPT_BACKOFF),
+            "first-receipt-with-backoff", "self-pruning", False,
+            "generic framework (backoff)",
+        ),
+        ProtocolInfo(
+            "generic-frbd",
+            lambda: GenericSelfPruning(Timing.FIRST_RECEIPT_BACKOFF_DEGREE),
+            "first-receipt-with-backoff", "self-pruning", False,
+            "generic framework (degree backoff)",
+        ),
+    ]
+
+
+REGISTRY: Dict[str, ProtocolInfo] = {info.name: info for info in _entries()}
+
+
+def names() -> List[str]:
+    """All registered protocol names."""
+    return list(REGISTRY)
+
+
+def create(name: str) -> BroadcastProtocol:
+    """A fresh instance of the named protocol."""
+    try:
+        return REGISTRY[name].factory()
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown protocol {name!r}; choose from {sorted(REGISTRY)}"
+        ) from exc
+
+
+def table1_rows() -> List[Tuple[str, str, str]]:
+    """The paper's Table 1: (category, self-pruning, neighbor-designating).
+
+    Rows list the *existing* algorithms the paper classifies, grouped by
+    timing category.
+    """
+    categories = ["static", "first-receipt", "first-receipt-with-backoff"]
+    rows: List[Tuple[str, str, str]] = []
+    for category in categories:
+        self_pruning = [
+            info.name
+            for info in REGISTRY.values()
+            if info.existing
+            and info.category == category
+            and info.selection == "self-pruning"
+        ]
+        designating = [
+            info.name
+            for info in REGISTRY.values()
+            if info.existing
+            and info.category == category
+            and info.selection == "neighbor-designating"
+        ]
+        rows.append(
+            (
+                category,
+                ", ".join(self_pruning) or "-",
+                ", ".join(designating) or "-",
+            )
+        )
+    return rows

@@ -1,0 +1,41 @@
+"""Dai and Wu's Rule-k (static self-pruning).
+
+Rule-k generalises Wu & Li's Rules 1 and 2: a gateway becomes a
+non-gateway if all of its neighbors are covered by *any number* of
+coverage nodes that are connected among themselves and have higher
+priorities.  In the generic framework this is exactly the **strong
+coverage condition** on a static view; the "restricted implementation"
+with 2- or 3-hop information simply evaluates it on the k-hop view graph,
+where the connectivity of coverage nodes is checked within the view.
+
+Nodes whose neighbors are pairwise connected are non-gateways outright
+(the marking process — a direct edge is a replacement path that needs no
+coverage node).
+"""
+
+from __future__ import annotations
+
+from ..core.coverage import strong_coverage_condition
+from ..core.views import View
+from .static_base import StaticSelfPruningProtocol
+from .wu_li import is_marked
+
+__all__ = ["RuleK"]
+
+
+class RuleK(StaticSelfPruningProtocol):
+    """Strong coverage condition on static k-hop views (k = 2 or 3)."""
+
+    def __init__(self, hops: int = 2) -> None:
+        super().__init__()
+        if hops < 2:
+            raise ValueError(
+                f"Rule-k needs at least 2-hop information, got {hops}"
+            )
+        self.hops = hops
+        self.name = f"rule-k-{hops}hop"
+
+    def is_non_forward(self, view: View, node: int) -> bool:
+        if not is_marked(view, node):
+            return True
+        return strong_coverage_condition(view, node)

@@ -1,0 +1,46 @@
+"""The Scalable Broadcast Algorithm (SBA) of Peng and Lu.
+
+First-receipt-with-backoff self-pruning by *neighbor elimination*: on
+receiving the broadcast packet a node waits out a random backoff; for
+every neighbor ``u`` heard forwarding the packet it removes ``N[u]`` from
+its own uncovered neighbor set.  If nothing remains uncovered when the
+backoff expires, the node stays silent — its neighbors are all directly
+adjacent to visited nodes, which (being connected through the source)
+supply a replacement path for every pair, so the coverage condition holds.
+
+SBA needs 2-hop information (to know ``N(u)`` for each neighbor ``u``).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from .base import BroadcastProtocol, NodeContext, Timing
+
+__all__ = ["SBA", "uncovered_neighbors"]
+
+
+def uncovered_neighbors(ctx: NodeContext) -> Set[int]:
+    """``N(v)`` minus the closed neighborhoods of known visited neighbors."""
+    graph = ctx.view_graph
+    neighbors = set(graph.neighbors(ctx.node))
+    remaining = set(neighbors)
+    for visited in ctx.known_visited:
+        if visited in neighbors:
+            remaining -= set(graph.neighbors(visited)) | {visited}
+    return remaining
+
+
+class SBA(BroadcastProtocol):
+    """Neighbor elimination after a random backoff."""
+
+    name = "sba"
+    timing = Timing.FIRST_RECEIPT_BACKOFF
+    hops = 2
+    piggyback_h = 0
+
+    def __init__(self, backoff_window: float = 10.0) -> None:
+        self.backoff_window = backoff_window
+
+    def should_forward(self, ctx: NodeContext) -> bool:
+        return bool(uncovered_neighbors(ctx))

@@ -1,0 +1,50 @@
+"""Shared base for proactive (static) self-pruning protocols.
+
+Wu & Li, Dai & Wu's Rule-k, Span, and the static Generic instance all
+follow the same shape: during ``prepare`` every node evaluates a predicate
+on its *static* local view (topology only, no broadcast state); nodes
+failing the non-forward test form the proactive forward set, over which the
+broadcast is then relayed.
+"""
+
+from __future__ import annotations
+
+from abc import abstractmethod
+from typing import FrozenSet, Set
+
+from ..core.views import View
+from .base import BroadcastProtocol, NodeContext, Timing
+
+__all__ = ["StaticSelfPruningProtocol"]
+
+
+class StaticSelfPruningProtocol(BroadcastProtocol):
+    """Computes a forward set in ``prepare`` from static local views."""
+
+    timing = Timing.STATIC
+    piggyback_h = 0
+    strict_designation = False
+
+    def __init__(self) -> None:
+        self._forward_set: Set[int] = set()
+
+    @property
+    def forward_set(self) -> FrozenSet[int]:
+        """The proactively computed forward node set."""
+        return frozenset(self._forward_set)
+
+    @abstractmethod
+    def is_non_forward(self, view: View, node: int) -> bool:
+        """The protocol's pruning rule on a static local view."""
+
+    def prepare(self, env) -> None:
+        self._forward_set = set()
+        for node in env.graph.nodes():
+            view = env.make_view(
+                env.view_graph(node, self.hops), frozenset(), frozenset()
+            )
+            if not self.is_non_forward(view, node):
+                self._forward_set.add(node)
+
+    def should_forward(self, ctx: NodeContext) -> bool:
+        return ctx.node in self._forward_set

@@ -1,0 +1,73 @@
+"""Wu and Li's marking process with pruning Rules 1 and 2 (static).
+
+A node is *marked* as a gateway when it has two neighbors that are not
+directly connected.  Two pruning rules then shrink the gateway set:
+
+* **Rule 1** — a gateway ``v`` becomes a non-gateway if all of its
+  neighbors are also neighbors of a single coverage node ``u`` with higher
+  priority;
+* **Rule 2** — a gateway ``v`` becomes a non-gateway if all of its
+  neighbors are covered by two directly-connected coverage nodes ``u`` and
+  ``w``, both with higher priority.
+
+Coverage nodes are drawn from ``N(v)`` (the 2-hop-information variant the
+paper describes; a neighbor's-neighbor variant would need 3-hop views).
+The priority is whatever scheme the environment supplies — the original
+paper uses node id, or node degree with id tie-break.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from ..core.views import View
+from .static_base import StaticSelfPruningProtocol
+
+__all__ = ["WuLi", "is_marked", "rule1_applies", "rule2_applies"]
+
+
+def is_marked(view: View, node: int) -> bool:
+    """The marking process: two neighbors not directly connected."""
+    neighbors = sorted(view.graph.neighbors(node))
+    return any(
+        not view.graph.has_edge(u, w)
+        for u, w in combinations(neighbors, 2)
+    )
+
+
+def rule1_applies(view: View, node: int) -> bool:
+    """Rule 1: one higher-priority neighbor covers ``N(node)``."""
+    neighbors = view.graph.neighbors(node)
+    threshold = view.priority(node)
+    for u in neighbors:
+        if view.priority(u) <= threshold:
+            continue
+        if neighbors - {u} <= view.graph.neighbors(u):
+            return True
+    return False
+
+
+def rule2_applies(view: View, node: int) -> bool:
+    """Rule 2: two connected higher-priority neighbors cover ``N(node)``."""
+    neighbors = sorted(view.graph.neighbors(node))
+    threshold = view.priority(node)
+    eligible = [u for u in neighbors if view.priority(u) > threshold]
+    for u, w in combinations(eligible, 2):
+        if not view.graph.has_edge(u, w):
+            continue
+        coverage = view.graph.neighbors(u) | view.graph.neighbors(w)
+        if set(neighbors) - {u, w} <= coverage:
+            return True
+    return False
+
+
+class WuLi(StaticSelfPruningProtocol):
+    """Marking process + Rules 1 and 2, evaluated on static 2-hop views."""
+
+    name = "wu-li"
+    hops = 2
+
+    def is_non_forward(self, view: View, node: int) -> bool:
+        if not is_marked(view, node):
+            return True
+        return rule1_applies(view, node) or rule2_applies(view, node)

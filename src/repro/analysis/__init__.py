@@ -1,0 +1,12 @@
+"""Post-hoc analysis: decision explanations and broadcast trees."""
+
+from .broadcast_tree import BroadcastTree, build_broadcast_tree
+from .explain import DecisionExplanation, PairExplanation, explain_decision
+
+__all__ = [
+    "BroadcastTree",
+    "build_broadcast_tree",
+    "DecisionExplanation",
+    "PairExplanation",
+    "explain_decision",
+]

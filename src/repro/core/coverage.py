@@ -1,0 +1,212 @@
+"""The generic coverage condition and its special cases (Sections 3 and 6).
+
+**Coverage condition** — node ``v`` may take non-forward status if every
+pair of its neighbors is connected by a *replacement path* whose
+intermediate nodes (if any) all have priority strictly higher than
+``Pr(v)``.
+
+**Strong coverage condition** — node ``v`` may take non-forward status if
+some *coverage set* ``C(v)`` dominates ``N(v)`` and lies inside one
+connected component of the subgraph induced by nodes with priority higher
+than ``Pr(v)``.  Strong implies generic (a connected dominating coverage
+set yields a replacement path for every pair), and is cheaper to check:
+O(D^2) versus O(D^3) in the local density D.
+
+**Span condition** — the coverage condition with two restrictions (the
+paper's "enhanced Span"): no visited intermediates, and replacement paths of
+at most three hops (at most two intermediates).
+
+All three operate on a :class:`~repro.core.views.View` and honour the
+"visited nodes are mutually connected" convention when
+``view.visited_connected`` is set.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .unionfind import DisjointSet
+from .views import View
+
+__all__ = [
+    "coverage_condition",
+    "strong_coverage_condition",
+    "span_condition",
+    "uncovered_pairs",
+    "higher_priority_components",
+]
+
+
+def _higher_priority_nodes(view: View, v: int) -> Set[int]:
+    """Visible nodes other than ``v`` with priority above ``Pr(v)``."""
+    threshold = view.priority(v)
+    return {
+        node
+        for node in view.graph
+        if node != v and view.priority(node) > threshold
+    }
+
+
+def higher_priority_components(view: View, v: int) -> List[Set[int]]:
+    """Connected components of the higher-priority subgraph for ``v``.
+
+    Components are taken in ``view.graph`` minus ``v`` restricted to nodes
+    with priority above ``Pr(v)``; when ``view.visited_connected`` holds,
+    all visited nodes are additionally fused into one component (they are
+    all connected through the source even if the view cannot see how).
+    """
+    eligible = _higher_priority_nodes(view, v)
+    dsu = DisjointSet(eligible)
+    for node in eligible:
+        for neighbor in view.graph.neighbors(node):
+            if neighbor in eligible:
+                dsu.union(node, neighbor)
+    if view.visited_connected:
+        visited = [node for node in eligible if view.is_visited(node)]
+        for node in visited[1:]:
+            dsu.union(visited[0], node)
+    return dsu.groups()
+
+
+def _component_reach(view: View, v: int) -> Tuple[List[Set[int]], Dict[int, Set[int]]]:
+    """Components of the higher-priority subgraph and neighbor adjacency.
+
+    Returns ``(components, reach)`` where ``reach[u]`` is the set of
+    component indices that neighbor ``u`` of ``v`` belongs to or touches.
+    A replacement path for the pair ``(u, w)`` exists exactly when its
+    intermediates lie inside one such component adjacent to both ends, so
+    the pair is replaceable iff ``reach[u] ∩ reach[w]`` is non-empty (or
+    the direct edge exists).
+    """
+    components = higher_priority_components(view, v)
+    membership: Dict[int, int] = {}
+    for index, component in enumerate(components):
+        for node in component:
+            membership[node] = index
+    reach: Dict[int, Set[int]] = {}
+    for u in view.graph.neighbors(v):
+        touched: Set[int] = set()
+        if u in membership:
+            touched.add(membership[u])
+        for x in view.graph.neighbors(u):
+            if x in membership:
+                touched.add(membership[x])
+        reach[u] = touched
+    return components, reach
+
+
+def uncovered_pairs(view: View, v: int) -> List[Tuple[int, int]]:
+    """Neighbor pairs of ``v`` lacking a replacement path.
+
+    The coverage condition holds exactly when this list is empty.  Exposed
+    for diagnostics, tests, and the example walkthroughs.
+    """
+    if v not in view.graph:
+        raise KeyError(f"node {v} not visible in the view")
+    neighbors = sorted(view.graph.neighbors(v))
+    _components, reach = _component_reach(view, v)
+    failing: List[Tuple[int, int]] = []
+    for i, u in enumerate(neighbors):
+        for w in neighbors[i + 1:]:
+            if view.graph.has_edge(u, w):
+                continue
+            if reach[u] & reach[w]:
+                continue
+            if (
+                view.visited_connected
+                and view.is_visited(u)
+                and view.is_visited(w)
+            ):
+                # Visited endpoints are mutually connected by convention.
+                continue
+            failing.append((u, w))
+    return failing
+
+
+def coverage_condition(view: View, v: int) -> bool:
+    """Whether ``v`` may take non-forward status under the generic condition.
+
+    True when **every pair** of ``v``'s neighbors has a replacement path —
+    a direct edge, or a path whose intermediates all rank above ``Pr(v)``.
+    A node with zero or one neighbor satisfies the condition vacuously (it
+    is never needed to connect anything); the source still forwards
+    unconditionally, so coverage is unaffected.
+    """
+    return not uncovered_pairs(view, v)
+
+
+def strong_coverage_condition(view: View, v: int) -> bool:
+    """Whether some connected higher-priority component dominates ``N(v)``.
+
+    The maximal candidate coverage set is an entire component of the
+    higher-priority subgraph, so it suffices to test each component.
+    """
+    if v not in view.graph:
+        raise KeyError(f"node {v} not visible in the view")
+    neighbors = view.graph.neighbors(v)
+    if not neighbors:
+        return True
+    for component in higher_priority_components(view, v):
+        if _dominates(view, component, neighbors):
+            return True
+    return False
+
+
+def _dominates(view: View, component: Set[int], targets: FrozenSet[int]) -> bool:
+    return all(
+        u in component or (view.graph.neighbors(u) & component)
+        for u in targets
+    )
+
+
+def span_condition(view: View, v: int, max_intermediates: int = 2) -> bool:
+    """The enhanced-Span restriction of the coverage condition.
+
+    Every pair of neighbors must be connected directly or via at most
+    ``max_intermediates`` higher-priority, *un-visited* intermediate nodes
+    (Span predates broadcast-state piggybacking).  With the default of two
+    intermediates this is exactly the paper's "replacement path no more
+    than three hops".
+    """
+    if max_intermediates < 0:
+        raise ValueError(
+            f"max_intermediates must be non-negative, got {max_intermediates}"
+        )
+    if v not in view.graph:
+        raise KeyError(f"node {v} not visible in the view")
+    neighbors = sorted(view.graph.neighbors(v))
+    eligible = {
+        node
+        for node in _higher_priority_nodes(view, v)
+        if not view.is_visited(node)
+    }
+    for i, u in enumerate(neighbors):
+        for w in neighbors[i + 1:]:
+            if not _bounded_replacement_path(
+                view, u, w, eligible, max_intermediates
+            ):
+                return False
+    return True
+
+
+def _bounded_replacement_path(
+    view: View, u: int, w: int, eligible: Set[int], max_intermediates: int
+) -> bool:
+    """BFS through ``eligible`` from ``u`` to ``w`` with bounded length."""
+    if view.graph.has_edge(u, w):
+        return True
+    seen: Set[int] = set()
+    frontier = set(view.graph.neighbors(u)) & eligible
+    for _used in range(1, max_intermediates + 1):
+        if not frontier:
+            return False
+        if any(view.graph.has_edge(x, w) for x in frontier):
+            return True
+        seen |= frontier
+        frontier = {
+            y
+            for x in frontier
+            for y in view.graph.neighbors(x)
+            if y in eligible and y not in seen
+        }
+    return False

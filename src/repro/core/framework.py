@@ -1,0 +1,119 @@
+"""The four-axis configuration surface of the generic framework.
+
+The paper evaluates the framework along timing, selection, space, and
+priority (Section 4).  :class:`FrameworkConfig` names a point in that
+space; :func:`build_protocol` instantiates the corresponding protocol and
+:func:`build_scheme` the priority scheme, so a complete broadcast setup is::
+
+    config = FrameworkConfig(timing="frb", selection="self-pruning",
+                             hops=3, priority="degree")
+    protocol, scheme = build_protocol(config), build_scheme(config)
+    outcome = run_broadcast(graph, protocol, source, scheme=scheme)
+
+Selections:
+
+* ``"self-pruning"`` — every node checks the coverage condition itself;
+* ``"neighbor-designating"`` — only designated nodes forward (strict);
+* ``"hybrid-maxdeg"`` / ``"hybrid-minpri"`` — Section 6.4 hybrids.
+
+Neighbor-designating and hybrid selections require dynamic timing (their
+designations only exist during a broadcast).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..algorithms.base import BroadcastProtocol, Timing
+from ..algorithms.generic import (
+    GenericNeighborDesignating,
+    GenericSelfPruning,
+    GenericStatic,
+)
+from ..algorithms.hybrid import MaxDegHybrid, MinPriHybrid
+from .priority import PriorityScheme, scheme_by_name
+
+__all__ = ["FrameworkConfig", "build_protocol", "build_scheme"]
+
+_TIMINGS = {
+    "static": Timing.STATIC,
+    "fr": Timing.FIRST_RECEIPT,
+    "frb": Timing.FIRST_RECEIPT_BACKOFF,
+    "frbd": Timing.FIRST_RECEIPT_BACKOFF_DEGREE,
+}
+
+_SELECTIONS = (
+    "self-pruning",
+    "neighbor-designating",
+    "hybrid-maxdeg",
+    "hybrid-minpri",
+)
+
+
+@dataclass(frozen=True)
+class FrameworkConfig:
+    """One point in the paper's four-dimensional design space.
+
+    Attributes
+    ----------
+    timing:
+        ``"static"``, ``"fr"``, ``"frb"``, or ``"frbd"`` (Section 4.1).
+    selection:
+        Who decides a node's status (Section 4.2).
+    hops:
+        View radius ``k``; ``None`` for the global view (Section 4.3).
+    priority:
+        ``"id"``, ``"degree"``, or ``"ncr"`` (Section 4.4).
+    strong:
+        Replace the generic coverage condition by the strong one.
+    """
+
+    timing: str = "fr"
+    selection: str = "self-pruning"
+    hops: Optional[int] = 2
+    priority: str = "id"
+    strong: bool = False
+
+    def __post_init__(self) -> None:
+        if self.timing not in _TIMINGS:
+            raise ValueError(
+                f"unknown timing {self.timing!r}; choose from {sorted(_TIMINGS)}"
+            )
+        if self.selection not in _SELECTIONS:
+            raise ValueError(
+                f"unknown selection {self.selection!r}; "
+                f"choose from {_SELECTIONS}"
+            )
+        if self.hops is not None and self.hops < 1:
+            raise ValueError(f"hops must be >= 1 or None, got {self.hops}")
+        if self.selection != "self-pruning" and self.timing == "static":
+            raise ValueError(
+                "neighbor-designating and hybrid selections need dynamic "
+                "timing; designations only exist during a broadcast"
+            )
+
+
+def build_protocol(config: FrameworkConfig) -> BroadcastProtocol:
+    """Instantiate the protocol for ``config``."""
+    timing = _TIMINGS[config.timing]
+    if config.selection == "self-pruning":
+        if timing is Timing.STATIC:
+            return GenericStatic(hops=config.hops, strong=config.strong)
+        return GenericSelfPruning(
+            timing=timing, hops=config.hops, strong=config.strong
+        )
+    if config.selection == "neighbor-designating":
+        protocol: BroadcastProtocol = GenericNeighborDesignating()
+    elif config.selection == "hybrid-maxdeg":
+        protocol = MaxDegHybrid()
+    else:
+        protocol = MinPriHybrid()
+    protocol.timing = timing
+    protocol.hops = config.hops
+    return protocol
+
+
+def build_scheme(config: FrameworkConfig) -> PriorityScheme:
+    """Instantiate the priority scheme for ``config``."""
+    return scheme_by_name(config.priority)

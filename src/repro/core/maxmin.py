@@ -1,0 +1,122 @@
+"""Max-min nodes and maximal replacement paths (Definition 1, Lemma 1).
+
+Given a node ``v`` and two of its neighbors ``u`` and ``w``, a *replacement
+path* connects ``u`` and ``w`` via intermediates of priority above
+``Pr(v)``.  The *max-min node* for ``(u, w, v)`` is, over all such paths,
+the intermediate with the highest minimum priority; recursing on it (the
+paper's ``MAX_MIN`` procedure) yields a *maximal* replacement path — one
+whose intermediates are themselves unprunable under the current view.
+
+The max-min node is computed with a bottleneck (widest-path) sweep: insert
+candidate intermediates in descending priority order into a union-find and
+stop as soon as ``u`` and ``w`` connect; the last inserted node is the
+bottleneck, i.e. the max-min node.  Visited intermediates honour the
+"mutually connected" convention of local views.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from .unionfind import DisjointSet
+from .views import View
+
+__all__ = ["max_min_node", "max_min_path"]
+
+
+def _candidates(view: View, v: int, u: int, w: int) -> List[int]:
+    """Eligible intermediates, sorted by descending priority."""
+    threshold = view.priority(v)
+    nodes = [
+        node
+        for node in view.graph
+        if node not in (v, u, w) and view.priority(node) > threshold
+    ]
+    nodes.sort(key=view.priority, reverse=True)
+    return nodes
+
+
+def max_min_node(view: View, u: int, w: int, v: int) -> Optional[int]:
+    """The max-min node for ``(u, w, v)``, or ``None``.
+
+    Returns ``None`` both when ``u`` and ``w`` are directly connected (no
+    intermediate is needed) and when no replacement path exists at all; use
+    :func:`max_min_path` to distinguish the two.
+    """
+    if view.graph.has_edge(u, w):
+        return None
+    dsu = DisjointSet([u, w])
+    inserted: Set[int] = set()
+    # Visited nodes — endpoints included — are mutually connected by the
+    # local-view convention; anchor the virtual clique on the first seen.
+    first_visited: Optional[int] = None
+    if view.visited_connected:
+        for endpoint in (u, w):
+            if view.is_visited(endpoint):
+                if first_visited is None:
+                    first_visited = endpoint
+                else:
+                    dsu.union(first_visited, endpoint)
+        if dsu.connected(u, w):
+            # Two visited endpoints: connected by convention, no
+            # intermediate needed.
+            return None
+    for node in _candidates(view, v, u, w):
+        dsu.add(node)
+        inserted.add(node)
+        if view.visited_connected and view.is_visited(node):
+            if first_visited is None:
+                first_visited = node
+            else:
+                dsu.union(first_visited, node)
+        for neighbor in view.graph.neighbors(node):
+            if neighbor in inserted or neighbor in (u, w):
+                dsu.union(node, neighbor)
+        if dsu.connected(u, w):
+            return node
+    return None
+
+
+def max_min_path(view: View, u: int, w: int, v: int) -> Optional[List[int]]:
+    """The maximal replacement path for ``v`` connecting ``u`` and ``w``.
+
+    Implements the paper's recursive ``MAX_MIN`` procedure:
+
+    1. if ``u`` and ``w`` are directly connected, the intermediate list is
+       empty;
+    2. otherwise find the max-min node ``x`` and recurse on ``(u, x)`` and
+       ``(x, w)``.
+
+    Returns the full path **including endpoints** ``[u, ..., w]``, or
+    ``None`` when no replacement path exists (the coverage condition fails
+    for this pair).  Lemma 1 guarantees termination and simplicity, which
+    the property-based tests verify.
+    """
+    intermediates = _max_min_intermediates(view, u, w, v)
+    if intermediates is None:
+        return None
+    return [u, *intermediates, w]
+
+
+def _max_min_intermediates(
+    view: View, u: int, w: int, v: int
+) -> Optional[List[int]]:
+    if view.graph.has_edge(u, w):
+        return []
+    if (
+        view.visited_connected
+        and view.is_visited(u)
+        and view.is_visited(w)
+    ):
+        # Two visited endpoints are connected by convention.
+        return []
+    x = max_min_node(view, u, w, v)
+    if x is None:
+        return None
+    left = _max_min_intermediates(view, u, x, v)
+    right = _max_min_intermediates(view, x, w, v)
+    if left is None or right is None:  # pragma: no cover - Lemma 1 forbids it
+        raise RuntimeError(
+            f"max-min recursion lost connectivity between {u} and {w}"
+        )
+    return [*left, x, *right]

@@ -1,0 +1,46 @@
+"""Node status values used in priority vectors.
+
+The paper orders nodes lexicographically by ``Pr(v) = (S(v), ..., id(v))``
+where the leading component ``S`` encodes broadcast state:
+
+* ``0``   — invisible under the local view (lowest priority),
+* ``1``   — un-visited and un-designated,
+* ``1.5`` — un-visited but designated as a forward node by some neighbor
+  (the relaxed neighbor-designating semantics of Section 4.2),
+* ``2``   — visited, i.e. the node has forwarded the packet (or is treated
+  as having done so, e.g. a designated node in strict neighbor-designating
+  protocols).
+
+The values are floats so that 1.5 slots between un-visited and visited, just
+as the paper defines it.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "INVISIBLE",
+    "UNVISITED",
+    "DESIGNATED",
+    "VISITED",
+    "status_name",
+]
+
+INVISIBLE = 0.0
+UNVISITED = 1.0
+DESIGNATED = 1.5
+VISITED = 2.0
+
+_NAMES = {
+    INVISIBLE: "invisible",
+    UNVISITED: "unvisited",
+    DESIGNATED: "designated",
+    VISITED: "visited",
+}
+
+
+def status_name(value: float) -> str:
+    """Human-readable name of a status value."""
+    try:
+        return _NAMES[value]
+    except KeyError as exc:
+        raise ValueError(f"unknown status value {value!r}") from exc

@@ -1,0 +1,65 @@
+"""Disjoint-set (union-find) structure used by the coverage machinery."""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Set, TypeVar
+
+__all__ = ["DisjointSet"]
+
+T = TypeVar("T", bound=Hashable)
+
+
+class DisjointSet:
+    """Union-find with path compression and union by size.
+
+    Elements are created lazily on first touch, so callers can union and
+    find without a separate registration pass.
+    """
+
+    def __init__(self, elements: Iterable[T] = ()) -> None:
+        self._parent: Dict[T, T] = {}
+        self._size: Dict[T, int] = {}
+        for element in elements:
+            self.add(element)
+
+    def add(self, element: T) -> None:
+        """Register ``element`` as its own singleton set (idempotent)."""
+        if element not in self._parent:
+            self._parent[element] = element
+            self._size[element] = 1
+
+    def __contains__(self, element: T) -> bool:
+        return element in self._parent
+
+    def find(self, element: T) -> T:
+        """The canonical representative of ``element``'s set."""
+        self.add(element)
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, a: T, b: T) -> T:
+        """Merge the sets of ``a`` and ``b``; return the new representative."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return ra
+
+    def connected(self, a: T, b: T) -> bool:
+        """Whether ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def groups(self) -> List[Set[T]]:
+        """All current sets."""
+        by_root: Dict[T, Set[T]] = {}
+        for element in self._parent:
+            by_root.setdefault(self.find(element), set()).add(element)
+        return list(by_root.values())

@@ -1,0 +1,215 @@
+"""Views: snapshots of network topology plus broadcast state (Section 2).
+
+A *view* is ``View(t) = (G(t), Pr(V, t))`` — a topology snapshot together
+with a priority vector.  A *local* view at node ``v`` is a subgraph of the
+global view whose priorities are component-wise no larger (an invisible node
+has the lowest priority ``(0, ..., id)``).
+
+The paper's conventions encoded here:
+
+* every node's priority is ``(S, metric..., id)`` (see ``repro.core.priority``),
+* an invisible node has status 0 and zero-padded metrics,
+* **all visited nodes are assumed connected under any local view**, because
+  each of them is connected to the source; the coverage machinery consults
+  :attr:`View.visited_connected` for this,
+* a k-hop local view contains the view graph ``G_k(v)`` of Definition 2.
+
+Views are immutable value objects; protocol state lives in the simulation
+engine, which *builds* fresh views as knowledge accumulates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
+
+from ..graph.topology import Topology
+from . import status as st
+from .priority import PriorityKey, PriorityScheme, make_key
+
+__all__ = ["View", "global_view", "local_view", "super_view"]
+
+
+@dataclass(frozen=True)
+class View:
+    """An immutable snapshot ``(G', Pr')`` of topology and broadcast state.
+
+    Attributes
+    ----------
+    graph:
+        The visible (sub)graph.
+    status:
+        ``S`` value per visible node; nodes absent from the mapping are
+        un-visited (status 1).  Invisible nodes — those absent from
+        ``graph`` — always rank lowest regardless of this mapping.
+    metrics:
+        Priority-scheme metric tuple per visible node.
+    metric_padding:
+        Zero metrics used for invisible nodes, so keys stay comparable.
+    visited_connected:
+        Whether visited nodes are treated as mutually connected (the local
+        view convention; safe globally too because forwarders form a
+        connected set through the source).
+    """
+
+    graph: Topology
+    status: Mapping[int, float] = field(default_factory=dict)
+    metrics: Mapping[int, Tuple[float, ...]] = field(default_factory=dict)
+    metric_padding: Tuple[float, ...] = ()
+    visited_connected: bool = True
+
+    def status_of(self, node: int) -> float:
+        """``S(node)``: 0 for invisible nodes, 1 when unrecorded."""
+        if node not in self.graph:
+            return st.INVISIBLE
+        return self.status.get(node, st.UNVISITED)
+
+    def priority(self, node: int) -> PriorityKey:
+        """The full lexicographic key ``(S, metric..., id)`` of ``node``."""
+        if node not in self.graph:
+            return make_key(st.INVISIBLE, self.metric_padding, node)
+        metric = self.metrics.get(node, self.metric_padding)
+        return make_key(self.status_of(node), metric, node)
+
+    def visited(self) -> FrozenSet[int]:
+        """All visible nodes with visited status."""
+        return frozenset(
+            node for node in self.graph if self.status_of(node) >= st.VISITED
+        )
+
+    def designated(self) -> FrozenSet[int]:
+        """All visible nodes with designated-or-higher status."""
+        return frozenset(
+            node
+            for node in self.graph
+            if self.status_of(node) >= st.DESIGNATED
+        )
+
+    def is_visited(self, node: int) -> bool:
+        """Whether ``node`` is visible and visited."""
+        return self.status_of(node) >= st.VISITED
+
+    def with_status(self, updates: Mapping[int, float]) -> "View":
+        """A new view with ``updates`` merged into the status map.
+
+        Updates only ever *raise* a node's status (priorities increase
+        monotonically along time); attempts to lower one raise
+        ``ValueError``.
+        """
+        merged: Dict[int, float] = dict(self.status)
+        for node, value in updates.items():
+            current = merged.get(node, st.UNVISITED)
+            if value < current:
+                raise ValueError(
+                    f"status of node {node} cannot decrease "
+                    f"({current} -> {value})"
+                )
+            merged[node] = value
+        return View(
+            graph=self.graph,
+            status=merged,
+            metrics=self.metrics,
+            metric_padding=self.metric_padding,
+            visited_connected=self.visited_connected,
+        )
+
+
+def _restrict_metrics(
+    all_metrics: Mapping[int, Tuple[float, ...]], visible: Iterable[int]
+) -> Dict[int, Tuple[float, ...]]:
+    return {node: all_metrics[node] for node in visible}
+
+
+def _restrict_status(
+    visited: Iterable[int], designated: Iterable[int], visible: Set[int]
+) -> Dict[int, float]:
+    status: Dict[int, float] = {}
+    for node in designated:
+        if node in visible:
+            status[node] = st.DESIGNATED
+    for node in visited:
+        if node in visible:
+            status[node] = st.VISITED
+    return status
+
+
+def global_view(
+    graph: Topology,
+    scheme: PriorityScheme,
+    visited: Iterable[int] = (),
+    designated: Iterable[int] = (),
+    metrics: Optional[Mapping[int, Tuple[float, ...]]] = None,
+) -> View:
+    """The global view of ``graph`` under a priority scheme.
+
+    ``metrics`` may be passed pre-computed (one call to
+    ``scheme.metrics(graph)`` per deployment) to avoid recomputation in
+    sweeps.
+    """
+    node_set = set(graph.nodes())
+    table = metrics if metrics is not None else scheme.metrics(graph)
+    return View(
+        graph=graph,
+        status=_restrict_status(visited, designated, node_set),
+        metrics=dict(table),
+        metric_padding=scheme.padding(),
+    )
+
+
+def local_view(
+    graph: Topology,
+    center: int,
+    k: int,
+    scheme: PriorityScheme,
+    visited: Iterable[int] = (),
+    designated: Iterable[int] = (),
+    metrics: Optional[Mapping[int, Tuple[float, ...]]] = None,
+) -> View:
+    """The k-hop local view at ``center`` (Definition 2).
+
+    The topology is ``G_k(center)``; broadcast state is restricted to the
+    visible nodes (a node cannot use what it cannot see); metric values are
+    the ones nodes advertise about themselves, i.e. computed on the
+    deployment graph, not on the truncated view graph.
+    """
+    view_graph = graph.k_hop_view_graph(center, k)
+    visible = set(view_graph.nodes())
+    table = metrics if metrics is not None else scheme.metrics(graph)
+    return View(
+        graph=view_graph,
+        status=_restrict_status(visited, designated, visible),
+        metrics=_restrict_metrics(table, visible),
+        metric_padding=scheme.padding(),
+    )
+
+
+def super_view(views: Iterable[View]) -> View:
+    """The union view of Theorem 2's proof: union graphs, max priorities.
+
+    ``View_super = (∪ G_i, max_i Pr_i)`` — used by tests to validate that a
+    node non-forward under its own local view stays non-forward under the
+    collective view.
+    """
+    views = list(views)
+    if not views:
+        raise ValueError("super_view of no views")
+    union = Topology()
+    status: Dict[int, float] = {}
+    padding = views[0].metric_padding
+    metrics: Dict[int, Tuple[float, ...]] = {}
+    for view in views:
+        if view.metric_padding != padding:
+            raise ValueError("views use different priority schemes")
+        for node in view.graph.nodes():
+            union.add_node(node)
+            status[node] = max(status.get(node, st.INVISIBLE), view.status_of(node))
+            metrics.setdefault(node, view.metrics.get(node, padding))
+        for u, v in view.graph.edges():
+            union.add_edge(u, v)
+    return View(
+        graph=union,
+        status=status,
+        metrics=metrics,
+        metric_padding=padding,
+        visited_connected=all(v.visited_connected for v in views),
+    )

@@ -1,0 +1,57 @@
+"""Experiment harness: specs, runner, and reports for every paper exhibit."""
+
+from .config import PAPER_NS, FigureSpec, PanelSpec, RunSettings, SeriesSpec
+from .figures import (
+    FIGURE_BUILDERS,
+    fig10_timing,
+    fig11_selection,
+    fig12_space,
+    fig13_priority,
+    fig14_static,
+    fig15_first_receipt,
+    fig16_backoff,
+)
+from .report import (
+    Fig9Result,
+    format_fig9,
+    format_table1,
+    run_and_format_figure,
+    run_fig9_sample,
+)
+from .runner import CoverageViolation, measure_point, run_figure, run_panel
+from .overhead import (
+    OverheadPoint,
+    crossover_broadcasts,
+    measure_overhead,
+)
+from .workload import BroadcastWorkload, WorkloadResult
+
+__all__ = [
+    "PAPER_NS",
+    "FigureSpec",
+    "PanelSpec",
+    "RunSettings",
+    "SeriesSpec",
+    "FIGURE_BUILDERS",
+    "fig10_timing",
+    "fig11_selection",
+    "fig12_space",
+    "fig13_priority",
+    "fig14_static",
+    "fig15_first_receipt",
+    "fig16_backoff",
+    "Fig9Result",
+    "format_fig9",
+    "format_table1",
+    "run_and_format_figure",
+    "run_fig9_sample",
+    "OverheadPoint",
+    "crossover_broadcasts",
+    "measure_overhead",
+    "BroadcastWorkload",
+    "WorkloadResult",
+    "CoverageViolation",
+    "measure_point",
+    "run_figure",
+    "run_panel",
+]

@@ -1,0 +1,153 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Examples::
+
+    python -m repro.experiments table1
+    python -m repro.experiments fig9 --svg-dir out/
+    python -m repro.experiments fig10 --quick
+    python -m repro.experiments all --quick
+    python -m repro.experiments fig15 --ns 20 60 100 --max-runs 30
+
+``--quick`` shrinks the sweep and the repetition bounds so a figure runs
+in seconds; omit it for paper-precision runs (90% CI within ±1%).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .config import RunSettings
+from .figures import FIGURE_BUILDERS
+from .report import (
+    format_fig9,
+    format_table1,
+    run_and_format_figure,
+    run_fig9_sample,
+)
+
+__all__ = ["main"]
+
+_QUICK_NS = (20, 40, 60, 80, 100)
+
+
+def _build_settings(args: argparse.Namespace) -> RunSettings:
+    if args.quick:
+        return RunSettings(
+            min_runs=args.min_runs or 8,
+            max_runs=args.max_runs or 20,
+            relative_half_width=0.05,
+            seed=args.seed,
+        )
+    return RunSettings(
+        min_runs=args.min_runs or 10,
+        max_runs=args.max_runs or 10_000,
+        relative_half_width=0.01,
+        seed=args.seed,
+    )
+
+
+def _emit_fig9(args: argparse.Namespace) -> None:
+    result = run_fig9_sample(seed=args.seed)
+    print(format_fig9(result))
+    if args.svg_dir:
+        os.makedirs(args.svg_dir, exist_ok=True)
+        for (hops, label), _nodes in result.forward_sets.items():
+            path = os.path.join(args.svg_dir, f"fig9_{label}_{hops}hop.svg")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(result.svg(hops, label))
+            print(f"wrote {path}")
+
+
+def _run_figure(name: str, args: argparse.Namespace) -> None:
+    builder = FIGURE_BUILDERS[name]
+    ns = tuple(args.ns) if args.ns else (_QUICK_NS if args.quick else None)
+    figure = builder(ns=ns)
+    settings = _build_settings(args)
+    progress = (lambda msg: print(f"  .. {msg}", file=sys.stderr)) if args.verbose else None
+    from .export import table_to_csv, tables_to_json
+    from .runner import run_figure as _run
+    from ..metrics.results import format_table
+    from ..viz.ascii_plot import ascii_chart
+
+    tables = _run(figure, settings, progress)
+    if args.format == "json":
+        print(tables_to_json(tables))
+    elif args.format == "csv":
+        for table in tables:
+            print(f"# {table.title}")
+            print(table_to_csv(table))
+    else:
+        print(f"{figure.figure_id}: {figure.description}\n")
+        for table in tables:
+            print(format_table(table))
+            if not args.no_charts:
+                print()
+                print(ascii_chart(table))
+            print()
+    if args.chart_dir:
+        from ..viz.chart_svg import chart_svg
+
+        os.makedirs(args.chart_dir, exist_ok=True)
+        for index, table in enumerate(tables):
+            slug = table.title.replace(" ", "_").replace(",", "")
+            path = os.path.join(args.chart_dir, f"{name}_{slug}.svg")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(chart_svg(table))
+            print(f"wrote {path}", file=sys.stderr)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    targets = ["table1", "fig9", *FIGURE_BUILDERS, "all"]
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("target", choices=targets, help="what to regenerate")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced sweep and repetitions (seconds instead of minutes)",
+    )
+    parser.add_argument(
+        "--ns", type=int, nargs="+", default=None,
+        help="node counts to sweep (default: the paper's 20..100)",
+    )
+    parser.add_argument("--min-runs", type=int, default=None)
+    parser.add_argument("--max-runs", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=20030519)
+    parser.add_argument(
+        "--svg-dir", default="", help="fig9: directory for SVG renderings"
+    )
+    parser.add_argument(
+        "--chart-dir", default="",
+        help="figure runs: also write SVG line charts here",
+    )
+    parser.add_argument("--no-charts", action="store_true")
+    parser.add_argument(
+        "--format", choices=["text", "csv", "json"], default="text",
+        help="output format for figure runs (default: text tables)",
+    )
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.target == "table1":
+        print(format_table1())
+    elif args.target == "fig9":
+        _emit_fig9(args)
+    elif args.target == "all":
+        print(format_table1())
+        print()
+        _emit_fig9(args)
+        print()
+        for name in FIGURE_BUILDERS:
+            _run_figure(name, args)
+    else:
+        _run_figure(args.target, args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""Result export: CSV and JSON serialisation of experiment tables.
+
+The text tables in ``repro.metrics.results`` are for humans; these
+functions feed spreadsheets and plotting scripts.  CSV rows follow the
+figures' layout (one row per x value, one column per series); JSON keeps
+the full per-point statistics including confidence half-widths and
+sample counts.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, List
+
+from ..metrics.results import ResultTable
+
+__all__ = ["table_to_csv", "table_to_json", "tables_to_json"]
+
+
+def table_to_csv(table: ResultTable) -> str:
+    """One panel as CSV: header row, then one row per x value."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow([table.x_label, *(s.label for s in table.series)])
+    for x in table.xs():
+        row: List[Any] = [x]
+        for series in table.series:
+            value = series.value_at(x)
+            row.append("" if value is None else f"{value:.4f}")
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def _table_payload(table: ResultTable) -> Dict[str, Any]:
+    return {
+        "title": table.title,
+        "x_label": table.x_label,
+        "y_label": table.y_label,
+        "series": [
+            {
+                "label": series.label,
+                "points": [
+                    {
+                        "x": point.x,
+                        "mean": point.mean,
+                        "half_width": point.half_width,
+                        "samples": point.samples,
+                    }
+                    for point in series.points
+                ],
+            }
+            for series in table.series
+        ],
+    }
+
+
+def table_to_json(table: ResultTable, indent: int = 2) -> str:
+    """One panel as JSON with full per-point statistics."""
+    return json.dumps(_table_payload(table), indent=indent)
+
+
+def tables_to_json(tables: List[ResultTable], indent: int = 2) -> str:
+    """A whole figure (several panels) as a JSON array."""
+    return json.dumps(
+        [_table_payload(table) for table in tables], indent=indent
+    )

@@ -1,0 +1,287 @@
+"""One experiment spec per paper figure (Section 7).
+
+Every builder accepts the node-count sweep and degree list so benchmarks
+can shrink them; defaults reproduce the paper's configuration
+(n = 20..100, d ∈ {6, 18}, 2-hop views and id priority unless the figure
+varies exactly that axis).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..algorithms.base import Timing
+from ..algorithms.dominant_pruning import DominantPruning, PartialDominantPruning
+from ..algorithms.generic import (
+    GenericNeighborDesignating,
+    GenericSelfPruning,
+    GenericStatic,
+)
+from ..algorithms.hybrid import MaxDegHybrid, MinPriHybrid
+from ..algorithms.lenwb import LENWB
+from ..algorithms.mpr import MultipointRelay
+from ..algorithms.rule_k import RuleK
+from ..algorithms.sba import SBA
+from ..algorithms.span import Span
+from .config import PAPER_NS, FigureSpec, PanelSpec, SeriesSpec
+
+__all__ = [
+    "fig10_timing",
+    "fig11_selection",
+    "fig12_space",
+    "fig13_priority",
+    "fig14_static",
+    "fig15_first_receipt",
+    "fig16_backoff",
+    "FIGURE_BUILDERS",
+]
+
+DEGREES: Tuple[float, ...] = (6.0, 18.0)
+
+
+def _ns(ns: Optional[Sequence[int]]) -> Tuple[int, ...]:
+    return tuple(ns) if ns is not None else PAPER_NS
+
+
+def _panels_per_degree(
+    title: str,
+    series: Tuple[SeriesSpec, ...],
+    ns: Tuple[int, ...],
+    degrees: Sequence[float],
+) -> Tuple[PanelSpec, ...]:
+    return tuple(
+        PanelSpec(
+            title=f"{title}, d={degree:g}",
+            degree=degree,
+            ns=ns,
+            series=series,
+        )
+        for degree in degrees
+    )
+
+
+def fig10_timing(
+    ns: Optional[Sequence[int]] = None,
+    degrees: Sequence[float] = DEGREES,
+) -> FigureSpec:
+    """Figure 10: Static vs FR vs FRB vs FRBD (2-hop, id priority)."""
+    series = (
+        SeriesSpec("Static", lambda: GenericStatic(hops=2)),
+        SeriesSpec(
+            "FR", lambda: GenericSelfPruning(Timing.FIRST_RECEIPT, hops=2)
+        ),
+        SeriesSpec(
+            "FRB",
+            lambda: GenericSelfPruning(Timing.FIRST_RECEIPT_BACKOFF, hops=2),
+        ),
+        SeriesSpec(
+            "FRBD",
+            lambda: GenericSelfPruning(
+                Timing.FIRST_RECEIPT_BACKOFF_DEGREE, hops=2
+            ),
+        ),
+    )
+    return FigureSpec(
+        figure_id="fig10",
+        description="Timing options of the generic broadcast protocol",
+        panels=_panels_per_degree("fig10 timing", series, _ns(ns), degrees),
+    )
+
+
+def fig11_selection(
+    ns: Optional[Sequence[int]] = None,
+    degrees: Sequence[float] = DEGREES,
+) -> FigureSpec:
+    """Figure 11: SP vs ND vs MaxDeg vs MinPri (FR, 2-hop, id priority)."""
+    series = (
+        SeriesSpec(
+            "SP", lambda: GenericSelfPruning(Timing.FIRST_RECEIPT, hops=2)
+        ),
+        SeriesSpec("ND", GenericNeighborDesignating),
+        SeriesSpec("MaxDeg", MaxDegHybrid),
+        SeriesSpec("MinPri", MinPriHybrid),
+    )
+    return FigureSpec(
+        figure_id="fig11",
+        description="Selection options of the dynamic (first-receipt) protocol",
+        panels=_panels_per_degree("fig11 selection", series, _ns(ns), degrees),
+    )
+
+
+def fig12_space(
+    ns: Optional[Sequence[int]] = None,
+    degrees: Sequence[float] = DEGREES,
+) -> FigureSpec:
+    """Figure 12: 2/3/4/5-hop versus global views (FR self-pruning)."""
+    series = tuple(
+        SeriesSpec(
+            f"{k}-hop",
+            lambda k=k: GenericSelfPruning(Timing.FIRST_RECEIPT, hops=k),
+        )
+        for k in (2, 3, 4, 5)
+    ) + (
+        SeriesSpec(
+            "global",
+            lambda: GenericSelfPruning(Timing.FIRST_RECEIPT, hops=None),
+        ),
+    )
+    return FigureSpec(
+        figure_id="fig12",
+        description="Local view radius (space) of dynamic self-pruning",
+        panels=_panels_per_degree("fig12 space", series, _ns(ns), degrees),
+    )
+
+
+def fig13_priority(
+    ns: Optional[Sequence[int]] = None,
+    degrees: Sequence[float] = DEGREES,
+) -> FigureSpec:
+    """Figure 13: ID vs Degree vs NCR priorities (FR self-pruning, 2-hop)."""
+
+    def fr() -> GenericSelfPruning:
+        return GenericSelfPruning(Timing.FIRST_RECEIPT, hops=2)
+
+    series = (
+        SeriesSpec("ID", fr, scheme_name="id"),
+        SeriesSpec("Degree", fr, scheme_name="degree"),
+        SeriesSpec("NCR", fr, scheme_name="ncr"),
+    )
+    return FigureSpec(
+        figure_id="fig13",
+        description="Priority functions of dynamic self-pruning",
+        panels=_panels_per_degree("fig13 priority", series, _ns(ns), degrees),
+    )
+
+
+def _hop_panels(
+    title: str,
+    make_series,
+    ns: Tuple[int, ...],
+    degrees: Sequence[float],
+    hop_values: Sequence[int] = (2, 3),
+) -> Tuple[PanelSpec, ...]:
+    panels = []
+    for hops in hop_values:
+        for degree in degrees:
+            panels.append(
+                PanelSpec(
+                    title=f"{title}, d={degree:g}, {hops}-hop",
+                    degree=degree,
+                    ns=ns,
+                    series=make_series(hops),
+                )
+            )
+    return tuple(panels)
+
+
+def fig14_static(
+    ns: Optional[Sequence[int]] = None,
+    degrees: Sequence[float] = DEGREES,
+) -> FigureSpec:
+    """Figure 14: static algorithms — MPR, Span, Rule-k, Generic.
+
+    All self-pruning entries use NCR priority (Span's original
+    configuration); MPR's designating-time priority is built into its
+    forwarding rule, so its scheme setting is irrelevant.
+    """
+
+    def make_series(hops: int) -> Tuple[SeriesSpec, ...]:
+        return (
+            SeriesSpec("MPR", MultipointRelay),
+            SeriesSpec(
+                "Span", lambda h=hops: Span(hops=h), scheme_name="ncr"
+            ),
+            SeriesSpec(
+                "Rule k", lambda h=hops: RuleK(hops=h), scheme_name="ncr"
+            ),
+            SeriesSpec(
+                "Generic",
+                lambda h=hops: GenericStatic(hops=h),
+                scheme_name="ncr",
+            ),
+        )
+
+    return FigureSpec(
+        figure_id="fig14",
+        description="Static broadcast algorithms",
+        panels=_hop_panels("fig14 static", make_series, _ns(ns), degrees),
+    )
+
+
+def fig15_first_receipt(
+    ns: Optional[Sequence[int]] = None,
+    degrees: Sequence[float] = DEGREES,
+) -> FigureSpec:
+    """Figure 15: first-receipt algorithms — DP, PDP, LENWB, Generic.
+
+    All entries use node degree as the priority (LENWB's original
+    configuration).
+    """
+
+    def make_series(hops: int) -> Tuple[SeriesSpec, ...]:
+        def lenwb(h: int = hops) -> LENWB:
+            protocol = LENWB()
+            protocol.hops = h
+            return protocol
+
+        return (
+            SeriesSpec("DP", DominantPruning, scheme_name="degree"),
+            SeriesSpec("PDP", PartialDominantPruning, scheme_name="degree"),
+            SeriesSpec("LENWB", lenwb, scheme_name="degree"),
+            SeriesSpec(
+                "Generic",
+                lambda h=hops: GenericSelfPruning(
+                    Timing.FIRST_RECEIPT, hops=h
+                ),
+                scheme_name="degree",
+            ),
+        )
+
+    return FigureSpec(
+        figure_id="fig15",
+        description="First-receipt broadcast algorithms",
+        panels=_hop_panels(
+            "fig15 first-receipt", make_series, _ns(ns), degrees
+        ),
+    )
+
+
+def fig16_backoff(
+    ns: Optional[Sequence[int]] = None,
+    degrees: Sequence[float] = DEGREES,
+) -> FigureSpec:
+    """Figure 16: first-receipt-with-backoff — SBA vs Generic (id priority)."""
+
+    def make_series(hops: int) -> Tuple[SeriesSpec, ...]:
+        def sba(h: int = hops) -> SBA:
+            protocol = SBA()
+            protocol.hops = h
+            return protocol
+
+        return (
+            SeriesSpec("SBA", sba),
+            SeriesSpec(
+                "Generic",
+                lambda h=hops: GenericSelfPruning(
+                    Timing.FIRST_RECEIPT_BACKOFF, hops=h
+                ),
+            ),
+        )
+
+    return FigureSpec(
+        figure_id="fig16",
+        description="First-receipt-with-backoff broadcast algorithms",
+        panels=_hop_panels("fig16 backoff", make_series, _ns(ns), degrees),
+    )
+
+
+#: Figure id to builder, for the CLI and the benchmarks.
+FIGURE_BUILDERS = {
+    "fig10": fig10_timing,
+    "fig11": fig11_selection,
+    "fig12": fig12_space,
+    "fig13": fig13_priority,
+    "fig14": fig14_static,
+    "fig15": fig15_first_receipt,
+    "fig16": fig16_backoff,
+}

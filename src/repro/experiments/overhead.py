@@ -1,0 +1,109 @@
+"""Control overhead: the total-cost model behind "cost-effectiveness".
+
+Section 7 repeatedly weighs forward-node savings against the cost of the
+information they need: "considering the cost in gathering neighborhood
+information, algorithms based on 4-, 5-hop, or global information are not
+cost-effective compared with the ones based on 2- or 3-hop information",
+and NCR "has the highest maintenance cost".  This module makes the trade
+explicit with the natural message-count model:
+
+* each hello period, every node beacons once per exchange round; k-hop
+  topology needs ``k`` rounds and the priority scheme adds its
+  ``extra_rounds`` (Definition 2 and Section 4.4's cost accounting);
+* each broadcast costs its forward-node transmissions.
+
+Over one hello period carrying ``B`` broadcasts, the total message count
+is ``n * (k + extra_rounds) + B * forwards(k, scheme)``.  Few broadcasts
+per period favour cheap views; many favour expensive, well-pruned ones —
+the crossover is the quantity the paper argues about qualitatively.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..algorithms.base import Timing
+from ..algorithms.generic import GenericSelfPruning
+from ..core.priority import PriorityScheme, scheme_by_name
+from ..graph.generators import random_connected_network
+from ..sim.engine import BroadcastSession, SimulationEnvironment
+
+__all__ = ["OverheadPoint", "measure_overhead", "total_cost", "crossover_broadcasts"]
+
+
+@dataclass(frozen=True)
+class OverheadPoint:
+    """One configuration's measured cost ingredients."""
+
+    hops: int
+    scheme_name: str
+    #: Hello rounds per period: k for topology + the scheme's extra.
+    hello_rounds: int
+    #: Mean forward nodes per broadcast.
+    mean_forwards: float
+    #: Deployment size (hello messages per round = n).
+    n: int
+
+    def total_cost(self, broadcasts_per_period: float) -> float:
+        """Messages per hello period at the given broadcast rate."""
+        hello = self.n * self.hello_rounds
+        return hello + broadcasts_per_period * self.mean_forwards
+
+
+def measure_overhead(
+    hops: int,
+    scheme_name: str,
+    n: int = 60,
+    degree: float = 6.0,
+    trials: int = 15,
+    seed: int = 97,
+) -> OverheadPoint:
+    """Measure one (k, scheme) configuration's cost ingredients."""
+    scheme = scheme_by_name(scheme_name)
+    rng = random.Random(seed)
+    forwards: List[float] = []
+    for trial in range(trials):
+        net = random_connected_network(n, degree, rng)
+        env = SimulationEnvironment(net.topology, scheme)
+        protocol = GenericSelfPruning(Timing.FIRST_RECEIPT, hops=hops)
+        protocol.prepare(env)
+        outcome = BroadcastSession(
+            env, protocol, rng.choice(net.topology.nodes()),
+            rng=random.Random(trial),
+        ).run()
+        if len(outcome.delivered) != n:
+            raise AssertionError("broadcast failed coverage")
+        forwards.append(outcome.forward_count)
+    return OverheadPoint(
+        hops=hops,
+        scheme_name=scheme_name,
+        hello_rounds=hops + scheme.extra_rounds,
+        mean_forwards=statistics.mean(forwards),
+        n=n,
+    )
+
+
+def total_cost(point: OverheadPoint, broadcasts_per_period: float) -> float:
+    """Convenience alias for :meth:`OverheadPoint.total_cost`."""
+    return point.total_cost(broadcasts_per_period)
+
+
+def crossover_broadcasts(
+    cheap: OverheadPoint, rich: OverheadPoint
+) -> Optional[float]:
+    """Broadcast rate at which the richer configuration starts to pay off.
+
+    Solves ``cheap.total_cost(B) == rich.total_cost(B)``; ``None`` when
+    the richer configuration never catches up (it must save forwards to
+    amortise its extra hello rounds).
+    """
+    hello_gap = (rich.n * rich.hello_rounds) - (cheap.n * cheap.hello_rounds)
+    savings = cheap.mean_forwards - rich.mean_forwards
+    if savings <= 0:
+        return None
+    if hello_gap <= 0:
+        return 0.0
+    return hello_gap / savings

@@ -1,0 +1,105 @@
+"""Bidirectional abstraction over unidirectional ad hoc links.
+
+Paper assumption 3 requires a "connected graph without unidirectional
+links" and points at sublayers that "provide a bidirectional abstraction
+for unidirectional ad hoc networks."  This module supplies that substrate:
+a minimal directed-link model (as produced, e.g., by heterogeneous
+transmit powers) and the abstraction that keeps only mutually reachable
+1-hop links — the symmetric core every protocol in this library runs on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set, Tuple
+
+from .geometry import Point
+from .topology import Topology
+
+__all__ = [
+    "DirectedLinks",
+    "bidirectional_abstraction",
+    "links_from_ranges",
+]
+
+Edge = Tuple[int, int]
+
+
+class DirectedLinks:
+    """A directed link set over integer node ids."""
+
+    def __init__(self, nodes: Iterable[int] = (), links: Iterable[Edge] = ()):
+        self._out: Dict[int, Set[int]] = {}
+        for node in nodes:
+            self.add_node(node)
+        for u, v in links:
+            self.add_link(u, v)
+
+    def add_node(self, node: int) -> None:
+        """Register ``node`` with no outgoing links (idempotent)."""
+        self._out.setdefault(node, set())
+
+    def add_link(self, sender: int, receiver: int) -> None:
+        """Add the directed link ``sender -> receiver``."""
+        if sender == receiver:
+            raise ValueError(f"self-link on node {sender} is not allowed")
+        self.add_node(sender)
+        self.add_node(receiver)
+        self._out[sender].add(receiver)
+
+    def has_link(self, sender: int, receiver: int) -> bool:
+        """Whether the directed link ``sender -> receiver`` exists."""
+        return receiver in self._out.get(sender, ())
+
+    def nodes(self) -> List[int]:
+        """All registered node ids."""
+        return list(self._out)
+
+    def links(self) -> List[Edge]:
+        """All directed links as ``(sender, receiver)`` pairs."""
+        return [
+            (sender, receiver)
+            for sender, receivers in self._out.items()
+            for receiver in receivers
+        ]
+
+    def out_neighbors(self, node: int) -> Set[int]:
+        """Receivers of ``node``'s transmissions."""
+        try:
+            return set(self._out[node])
+        except KeyError as exc:
+            raise KeyError(f"node {node} not in link set") from exc
+
+
+def bidirectional_abstraction(links: DirectedLinks) -> Topology:
+    """The symmetric core: keep ``{u, v}`` iff both directions exist.
+
+    This is the sublayer the paper cites — unidirectional links are
+    filtered out before any neighborhood information is exchanged, so
+    "hello" acknowledgements and replacement paths stay two-way.
+    """
+    graph = Topology(nodes=links.nodes())
+    for u, v in links.links():
+        if u < v and links.has_link(v, u):
+            graph.add_edge(u, v)
+    return graph
+
+
+def links_from_ranges(
+    positions: Dict[int, Point], ranges: Dict[int, float]
+) -> DirectedLinks:
+    """Directed links induced by per-node transmission ranges.
+
+    Heterogeneous ranges are the canonical source of unidirectional
+    links: a strong sender reaches a weak one that cannot answer.
+    """
+    if set(positions) != set(ranges):
+        raise ValueError("positions and ranges disagree on the node set")
+    links = DirectedLinks(nodes=positions)
+    for u, pu in positions.items():
+        reach_sq = ranges[u] * ranges[u]
+        if ranges[u] < 0:
+            raise ValueError(f"range of node {u} is negative")
+        for v, pv in positions.items():
+            if u != v and pu.distance_squared_to(pv) <= reach_sq:
+                links.add_link(u, v)
+    return links

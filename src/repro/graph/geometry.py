@@ -1,0 +1,146 @@
+"""Planar geometry primitives for the unit-disk network model.
+
+The paper deploys nodes uniformly at random in a restricted 100 x 100 area
+and connects two nodes when their Euclidean distance is within the
+transmission range ``r``.  This module provides the small amount of geometry
+that the unit-disk substrate needs: points, distances, and the deployment
+area abstraction.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+__all__ = [
+    "Point",
+    "Area",
+    "distance",
+    "distance_squared",
+    "random_points",
+    "grid_points",
+    "bounding_box",
+]
+
+
+@dataclass(frozen=True)
+class Point:
+    """An immutable point in the plane."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def distance_squared_to(self, other: "Point") -> float:
+        """Squared Euclidean distance to ``other`` (avoids the sqrt)."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """A new point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """The point as a plain ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points."""
+    return a.distance_to(b)
+
+
+def distance_squared(a: Point, b: Point) -> float:
+    """Squared Euclidean distance between two points."""
+    return a.distance_squared_to(b)
+
+
+@dataclass(frozen=True)
+class Area:
+    """A rectangular deployment area.
+
+    The paper uses a restricted 100 x 100 area; ``Area(100, 100)`` is the
+    default everywhere in this library.
+    """
+
+    width: float = 100.0
+    height: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError(
+                f"area dimensions must be positive, got {self.width} x {self.height}"
+            )
+
+    @property
+    def diagonal(self) -> float:
+        """Length of the area's diagonal (an upper bound on any distance)."""
+        return math.hypot(self.width, self.height)
+
+    def contains(self, p: Point) -> bool:
+        """Whether ``p`` lies inside the area (boundary inclusive)."""
+        return 0.0 <= p.x <= self.width and 0.0 <= p.y <= self.height
+
+    def clamp(self, p: Point) -> Point:
+        """``p`` clamped to the area's boundary."""
+        return Point(
+            min(max(p.x, 0.0), self.width),
+            min(max(p.y, 0.0), self.height),
+        )
+
+    def random_point(self, rng: random.Random) -> Point:
+        """A point drawn uniformly at random from the area."""
+        return Point(rng.uniform(0.0, self.width), rng.uniform(0.0, self.height))
+
+
+def random_points(
+    count: int, area: Area, rng: random.Random
+) -> Dict[int, Point]:
+    """Place ``count`` nodes uniformly at random in ``area``.
+
+    Returns a mapping from node id (``0 .. count - 1``) to position, which is
+    the placement model of the paper's simulator.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return {node: area.random_point(rng) for node in range(count)}
+
+
+def grid_points(rows: int, cols: int, spacing: float = 1.0) -> Dict[int, Point]:
+    """Place ``rows * cols`` nodes on a regular grid.
+
+    Useful for deterministic fixtures in tests and examples.  Node ids are
+    assigned in row-major order.
+    """
+    if rows <= 0 or cols <= 0:
+        raise ValueError(f"grid dimensions must be positive, got {rows} x {cols}")
+    if spacing <= 0:
+        raise ValueError(f"spacing must be positive, got {spacing}")
+    points: Dict[int, Point] = {}
+    node = 0
+    for row in range(rows):
+        for col in range(cols):
+            points[node] = Point(col * spacing, row * spacing)
+            node += 1
+    return points
+
+
+def bounding_box(points: Iterable[Point]) -> Tuple[Point, Point]:
+    """The (lower-left, upper-right) corners bounding ``points``.
+
+    Raises ``ValueError`` on an empty iterable.
+    """
+    xs: List[float] = []
+    ys: List[float] = []
+    for p in points:
+        xs.append(p.x)
+        ys.append(p.y)
+    if not xs:
+        raise ValueError("bounding_box of an empty point set")
+    return Point(min(xs), min(ys)), Point(max(xs), max(ys))

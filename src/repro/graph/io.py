@@ -1,0 +1,96 @@
+"""Serialisation and interop: save/load deployments, networkx bridges.
+
+Reproducibility plumbing a downstream user expects: dump a sampled
+deployment (topology + positions + radius) to JSON, reload it bit-exact,
+and move graphs in and out of networkx when richer graph algorithms are
+wanted.  networkx is imported lazily so the core library stays
+dependency-free.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from .geometry import Point
+from .topology import Topology
+from .unit_disk import UnitDiskGraph
+
+__all__ = [
+    "topology_to_dict",
+    "topology_from_dict",
+    "network_to_json",
+    "network_from_json",
+    "to_networkx",
+    "from_networkx",
+]
+
+
+def topology_to_dict(graph: Topology) -> Dict[str, Any]:
+    """A JSON-ready dict: sorted node list and edge list."""
+    return {
+        "nodes": sorted(graph.nodes()),
+        "edges": sorted(graph.edges()),
+    }
+
+
+def topology_from_dict(payload: Dict[str, Any]) -> Topology:
+    """Inverse of :func:`topology_to_dict`."""
+    try:
+        nodes = payload["nodes"]
+        edges = payload["edges"]
+    except KeyError as exc:
+        raise ValueError(f"missing key in topology payload: {exc}") from exc
+    return Topology(nodes=nodes, edges=[tuple(edge) for edge in edges])
+
+
+def network_to_json(network: UnitDiskGraph, indent: int = 2) -> str:
+    """A full deployment — topology, positions, radius — as JSON."""
+    payload = {
+        "radius": network.radius,
+        "positions": {
+            str(node): [position.x, position.y]
+            for node, position in sorted(network.positions.items())
+        },
+        "topology": topology_to_dict(network.topology),
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def network_from_json(text: str) -> UnitDiskGraph:
+    """Inverse of :func:`network_to_json` (bit-exact round trip)."""
+    payload = json.loads(text)
+    try:
+        positions = {
+            int(node): Point(x, y)
+            for node, (x, y) in payload["positions"].items()
+        }
+        topology = topology_from_dict(payload["topology"])
+        radius = float(payload["radius"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"malformed deployment payload: {exc}") from exc
+    return UnitDiskGraph(
+        topology=topology, positions=positions, radius=radius
+    )
+
+
+def to_networkx(graph: Topology):
+    """The graph as a ``networkx.Graph`` (networkx required)."""
+    import networkx as nx
+
+    mirror = nx.Graph()
+    mirror.add_nodes_from(graph.nodes())
+    mirror.add_edges_from(graph.edges())
+    return mirror
+
+
+def from_networkx(mirror) -> Topology:
+    """A :class:`Topology` from any undirected ``networkx`` graph.
+
+    Node labels must be integers (the priority machinery breaks ties by
+    id); anything else raises ``ValueError``.
+    """
+    nodes = list(mirror.nodes())
+    if any(not isinstance(node, int) for node in nodes):
+        raise ValueError("node labels must be integers")
+    return Topology(nodes=nodes, edges=list(mirror.edges()))

@@ -1,0 +1,208 @@
+"""Fixed topologies encoding the paper's illustrative figures.
+
+The paper's small figures exercise the corners of the coverage condition.
+Where the text pins the figure down exactly we reproduce it exactly; where
+only the figure's *claims* are stated (the scanned edge sets are ambiguous)
+we reconstruct a topology that satisfies every claim in the surrounding
+text, and say so in the docstring.  Unit tests assert the claims.
+
+All fixtures use node ids as 0-hop priorities, matching the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Tuple
+
+from .topology import Topology
+
+__all__ = [
+    "PaperFigure",
+    "figure1",
+    "figure2",
+    "figure4",
+    "figure6a",
+    "figure6b",
+    "figure8",
+]
+
+
+@dataclass(frozen=True)
+class PaperFigure:
+    """A paper figure: topology, initially visited nodes, and notes."""
+
+    name: str
+    topology: Topology
+    visited: FrozenSet[int] = frozenset()
+    notes: str = ""
+
+
+def figure1() -> PaperFigure:
+    """Figure 1: the three-node complete network {u, v, w}.
+
+    Encoded with u=1, v=2, w=3 so that w carries the highest id, matching
+    the static-approach walkthrough ("suppose w, the highest id among the
+    three, is selected").
+    """
+    topology = Topology(edges=[(1, 2), (2, 3), (1, 3)])
+    return PaperFigure(
+        name="figure1",
+        topology=topology,
+        notes="u=1, v=2, w=3; complete graph, one forward node suffices",
+    )
+
+
+def figure2() -> PaperFigure:
+    """Figure 2: the maximal replacement path example.
+
+    Exact reproduction of the text: v has id 2, its neighbors u and w must
+    be connected avoiding v; node 4 is the max-min node for (u, w, v), node
+    6 for (u, 4, v), and the visited node y for (u, 6, v); the resulting
+    maximal replacement path is (u, y, 6, 4, w).  u and w are encoded as
+    ids 10 and 11 (endpoint priorities are irrelevant to the procedure) and
+    y as id 9 with visited status.
+    """
+    u, w, v, y = 10, 11, 2, 9
+    topology = Topology(
+        edges=[
+            (v, u),
+            (v, w),
+            (u, 3),
+            (3, w),
+            (u, y),
+            (y, 6),
+            (6, 4),
+            (4, w),
+            (u, 7),
+            (7, 5),
+            (5, 4),
+            (5, 6),
+        ]
+    )
+    return PaperFigure(
+        name="figure2",
+        topology=topology,
+        visited=frozenset({y}),
+        notes="u=10, w=11, v=2, y=9 (visited); expect path (u, y, 6, 4, w)",
+    )
+
+
+def figure4() -> PaperFigure:
+    """Figure 4: static vs dynamic forward node sets on five nodes.
+
+    Reconstructed (the scan's edge set is ambiguous) to satisfy the text:
+    with node 2 as source and node 5 visited, node 3 can become non-forward
+    because two of its neighbors are connected through visited node 2.
+    Topology: a five-cycle 1-2-3-4-5 plus chords 2-5 and 2-3's neighbors
+    2 and 4 joined through 2-4? No —  we use edges making N(3) = {2, 4},
+    with 2-4 *not* direct but connected via 5: edges 1-2, 2-3, 3-4, 4-5,
+    5-2, 1-5.
+    """
+    topology = Topology(
+        edges=[(1, 2), (2, 3), (3, 4), (4, 5), (5, 2), (1, 5)]
+    )
+    return PaperFigure(
+        name="figure4",
+        topology=topology,
+        visited=frozenset({2, 5}),
+        notes="source 2; with 2 and 5 visited, node 3 becomes non-forward",
+    )
+
+
+def figure6a() -> PaperFigure:
+    """Figure 6(a): coverage condition vs strong coverage condition.
+
+    Reconstructed to satisfy every claim in the text: node 4 is non-forward
+    under the (generic) coverage condition but forward under the strong
+    coverage condition, and only when the local view includes 3-hop
+    information — under 2-hop information the link (7, 8) is invisible and
+    the replacement path (3, 7, 8, 2) is unknown to node 4.
+
+    Construction: N(4) = {1, 2, 3}.  Pair (1, 2) is replaced through node 5,
+    pair (1, 3) through node 6, and pair (2, 3) through the path 3-7-8-2.
+    The higher-priority subgraph {5}, {6}, {7, 8} splits into three
+    components, none of which dominates all of N(4), so no coverage *set*
+    exists and the strong condition fails.
+    """
+    topology = Topology(
+        edges=[
+            (4, 1),
+            (4, 2),
+            (4, 3),
+            (1, 5),
+            (5, 2),
+            (1, 6),
+            (6, 3),
+            (3, 7),
+            (7, 8),
+            (8, 2),
+        ]
+    )
+    return PaperFigure(
+        name="figure6a",
+        topology=topology,
+        notes="node 4: non-forward (generic, 3-hop) / forward (strong or 2-hop)",
+    )
+
+
+def figure6b() -> PaperFigure:
+    """Figure 6(b): strong coverage beats direct neighbor elimination.
+
+    Reconstructed to satisfy the text: node 2 has two visited neighbors
+    (encoded as ids 5 and 6), yet its neighbor 4 is not covered by either
+    visited node's neighborhood, so SBA / Stojmenovic keep node 2 forward.
+    Under the strong coverage condition node 2 is non-forward: its neighbor
+    set {1, 4, 5, 6} is dominated by the coverage set {3, 4} ∪ {blacks},
+    which is connected *because all visited nodes count as connected* in a
+    local view (4-3-5~6).
+    """
+    topology = Topology(
+        edges=[
+            (2, 1),
+            (2, 4),
+            (2, 5),
+            (2, 6),
+            (3, 4),
+            (3, 5),
+            (1, 5),
+        ]
+    )
+    return PaperFigure(
+        name="figure6b",
+        topology=topology,
+        visited=frozenset({5, 6}),
+        notes="node 2: forward under SBA, non-forward under strong coverage",
+    )
+
+
+def figure8() -> PaperFigure:
+    """Figure 8: the selection-policy walkthrough network on nine nodes.
+
+    Reconstructed (scan ambiguous) to preserve the text's relationships:
+    nodes 2 and 9 are the initial forwarders; nodes 1, 3, 4, 6 are the
+    contested middle; node 7 is a 2-hop neighbor of node 2 reachable only
+    through nodes 3/4/6; node 1 covers no 2-hop neighbor of node 2.
+    Layout follows the figure's three rows: 9 5 8 / 2 3 4 / 1 6 7.
+    """
+    topology = Topology(
+        edges=[
+            (9, 5),
+            (5, 8),
+            (8, 4),
+            (9, 2),
+            (9, 3),
+            (2, 3),
+            (3, 4),
+            (2, 1),
+            (1, 6),
+            (2, 6),
+            (6, 7),
+            (4, 7),
+        ]
+    )
+    return PaperFigure(
+        name="figure8",
+        topology=topology,
+        visited=frozenset({2, 9}),
+        notes="selection-policy example; 2 and 9 forward first",
+    )

@@ -1,0 +1,479 @@
+"""Undirected graph substrate used throughout the library.
+
+An ad hoc network is modelled as an undirected graph (paper assumption 3:
+connected, no unidirectional links).  This module implements the graph data
+structure from scratch, together with the traversals the broadcast framework
+needs:
+
+* breadth-first search and hop distances,
+* connectivity and connected components,
+* k-hop neighborhoods ``N_k(v)``,
+* the paper's k-hop *view graph* ``G_k(v) = (N_k(v), E ∩ (N_{k-1} x N_k))``
+  (Definition 2: edges between two nodes that are exactly ``k`` hops from
+  ``v`` are *not* part of the k-hop information).
+
+The structure is deliberately small and dependency-free; tests validate it
+against networkx oracles.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+__all__ = ["Topology"]
+
+Edge = Tuple[int, int]
+
+
+class Topology:
+    """A simple undirected graph over integer node ids.
+
+    Self-loops and parallel edges are rejected: neither occurs in a unit-disk
+    graph and both would break the broadcast semantics (a node never
+    "transmits to itself").
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[int] = (),
+        edges: Iterable[Edge] = (),
+    ) -> None:
+        self._adj: Dict[int, Set[int]] = {}
+        for node in nodes:
+            self.add_node(node)
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def add_node(self, node: int) -> None:
+        """Add ``node`` if not already present."""
+        self._adj.setdefault(node, set())
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Add the undirected edge ``{u, v}``, creating endpoints as needed."""
+        if u == v:
+            raise ValueError(f"self-loop on node {u} is not allowed")
+        self.add_node(u)
+        self.add_node(v)
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove the undirected edge ``{u, v}``; raise if absent."""
+        try:
+            self._adj[u].remove(v)
+            self._adj[v].remove(u)
+        except KeyError as exc:
+            raise KeyError(f"edge ({u}, {v}) not in graph") from exc
+
+    def remove_node(self, node: int) -> None:
+        """Remove ``node`` and all incident edges; raise if absent."""
+        if node not in self._adj:
+            raise KeyError(f"node {node} not in graph")
+        for neighbor in self._adj[node]:
+            self._adj[neighbor].discard(node)
+        del self._adj[node]
+
+    def copy(self) -> "Topology":
+        """An independent copy of the graph."""
+        clone = Topology()
+        clone._adj = {node: set(nbrs) for node, nbrs in self._adj.items()}
+        return clone
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._adj
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._adj)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Topology):
+            return NotImplemented
+        return self._adj == other._adj
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Topology(nodes={self.node_count()}, edges={self.edge_count()})"
+        )
+
+    def nodes(self) -> List[int]:
+        """All node ids, in insertion order."""
+        return list(self._adj)
+
+    def node_count(self) -> int:
+        """Number of nodes."""
+        return len(self._adj)
+
+    def edges(self) -> List[Edge]:
+        """All edges, each reported once as ``(min, max)``."""
+        return [
+            (u, v)
+            for u in self._adj
+            for v in self._adj[u]
+            if u < v
+        ]
+
+    def edge_count(self) -> int:
+        """Number of (undirected) edges."""
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``{u, v}`` is an edge."""
+        return v in self._adj.get(u, ())
+
+    def neighbors(self, node: int) -> FrozenSet[int]:
+        """The open neighbor set ``N(node)``."""
+        try:
+            return frozenset(self._adj[node])
+        except KeyError as exc:
+            raise KeyError(f"node {node} not in graph") from exc
+
+    def closed_neighbors(self, node: int) -> FrozenSet[int]:
+        """The closed neighbor set ``N[node] = N(node) ∪ {node}``."""
+        return self.neighbors(node) | {node}
+
+    def degree(self, node: int) -> int:
+        """``deg(node) = |N(node)|``."""
+        try:
+            return len(self._adj[node])
+        except KeyError as exc:
+            raise KeyError(f"node {node} not in graph") from exc
+
+    def average_degree(self) -> float:
+        """Mean degree; 0.0 on an empty graph."""
+        if not self._adj:
+            return 0.0
+        return 2.0 * self.edge_count() / self.node_count()
+
+    def max_degree(self) -> int:
+        """Largest degree; 0 on an empty graph."""
+        if not self._adj:
+            return 0
+        return max(len(nbrs) for nbrs in self._adj.values())
+
+    def is_complete(self) -> bool:
+        """Whether every pair of distinct nodes is adjacent."""
+        n = self.node_count()
+        return self.edge_count() == n * (n - 1) // 2
+
+    # ------------------------------------------------------------------
+    # Traversals
+    # ------------------------------------------------------------------
+
+    def bfs_distances(
+        self, source: int, max_hops: Optional[int] = None
+    ) -> Dict[int, int]:
+        """Hop distances from ``source`` to every reachable node.
+
+        With ``max_hops`` the search is truncated at that radius, which is
+        how k-hop neighborhoods are computed.
+        """
+        if source not in self._adj:
+            raise KeyError(f"node {source} not in graph")
+        distances: Dict[int, int] = {source: 0}
+        frontier = deque([source])
+        while frontier:
+            node = frontier.popleft()
+            hops = distances[node]
+            if max_hops is not None and hops >= max_hops:
+                continue
+            for neighbor in self._adj[node]:
+                if neighbor not in distances:
+                    distances[neighbor] = hops + 1
+                    frontier.append(neighbor)
+        return distances
+
+    def bfs_tree_parents(self, source: int) -> Dict[int, Optional[int]]:
+        """Parent pointers of a BFS tree rooted at ``source``.
+
+        The source maps to ``None``.  Useful for extracting shortest paths.
+        """
+        if source not in self._adj:
+            raise KeyError(f"node {source} not in graph")
+        parents: Dict[int, Optional[int]] = {source: None}
+        frontier = deque([source])
+        while frontier:
+            node = frontier.popleft()
+            for neighbor in sorted(self._adj[node]):
+                if neighbor not in parents:
+                    parents[neighbor] = node
+                    frontier.append(neighbor)
+        return parents
+
+    def shortest_path(self, source: int, target: int) -> Optional[List[int]]:
+        """A shortest path from ``source`` to ``target`` or ``None``.
+
+        The path includes both endpoints; ``[source]`` when they coincide.
+        """
+        if target not in self._adj:
+            raise KeyError(f"node {target} not in graph")
+        parents = self.bfs_tree_parents(source)
+        if target not in parents:
+            return None
+        path = [target]
+        while parents[path[-1]] is not None:
+            path.append(parents[path[-1]])  # type: ignore[arg-type]
+        path.reverse()
+        return path
+
+    def eccentricity(self, node: int) -> int:
+        """Largest hop distance from ``node`` to any reachable node."""
+        return max(self.bfs_distances(node).values())
+
+    def diameter(self) -> int:
+        """Largest eccentricity over all nodes (graph must be connected)."""
+        if not self.is_connected():
+            raise ValueError("diameter of a disconnected graph is undefined")
+        return max(self.eccentricity(node) for node in self._adj)
+
+    def is_connected(self) -> bool:
+        """Whether the graph is connected (the empty graph is connected)."""
+        if not self._adj:
+            return True
+        first = next(iter(self._adj))
+        return len(self.bfs_distances(first)) == len(self._adj)
+
+    def connected_components(self) -> List[Set[int]]:
+        """All connected components as node sets."""
+        seen: Set[int] = set()
+        components: List[Set[int]] = []
+        for node in self._adj:
+            if node in seen:
+                continue
+            component = set(self.bfs_distances(node))
+            seen |= component
+            components.append(component)
+        return components
+
+    def is_connected_subset(self, subset: Iterable[int]) -> bool:
+        """Whether ``subset`` induces a connected subgraph.
+
+        The empty set and singletons count as connected.
+        """
+        members = set(subset)
+        missing = members - set(self._adj)
+        if missing:
+            raise KeyError(f"nodes not in graph: {sorted(missing)}")
+        if len(members) <= 1:
+            return True
+        start = next(iter(members))
+        seen = {start}
+        frontier = deque([start])
+        while frontier:
+            node = frontier.popleft()
+            for neighbor in self._adj[node]:
+                if neighbor in members and neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return seen == members
+
+    def articulation_points(self) -> Set[int]:
+        """All cut vertices (nodes whose removal disconnects a component).
+
+        Iterative Tarjan low-link computation.  Articulation points are
+        the nodes no broadcast protocol can ever prune: some pair of
+        their neighbors has no connecting path avoiding them at all.
+        """
+        discovery: Dict[int, int] = {}
+        low: Dict[int, int] = {}
+        parent: Dict[int, Optional[int]] = {}
+        points: Set[int] = set()
+        counter = 0
+        for root in self._adj:
+            if root in discovery:
+                continue
+            parent[root] = None
+            root_children = 0
+            # Each stack frame: (node, iterator over neighbors).
+            stack = [(root, iter(sorted(self._adj[root])))]
+            discovery[root] = low[root] = counter
+            counter += 1
+            while stack:
+                node, neighbors = stack[-1]
+                advanced = False
+                for neighbor in neighbors:
+                    if neighbor not in discovery:
+                        parent[neighbor] = node
+                        if node == root:
+                            root_children += 1
+                        discovery[neighbor] = low[neighbor] = counter
+                        counter += 1
+                        stack.append(
+                            (neighbor, iter(sorted(self._adj[neighbor])))
+                        )
+                        advanced = True
+                        break
+                    if neighbor != parent[node]:
+                        low[node] = min(low[node], discovery[neighbor])
+                if advanced:
+                    continue
+                stack.pop()
+                if stack:
+                    above = stack[-1][0]
+                    low[above] = min(low[above], low[node])
+                    if above != root and low[node] >= discovery[above]:
+                        points.add(above)
+            if root_children >= 2:
+                points.add(root)
+        return points
+
+    def bridges(self) -> Set[Edge]:
+        """All bridge edges, each as ``(min, max)``.
+
+        An edge is a bridge when removing it disconnects its endpoints —
+        computed by removal-and-reachability (O(E^2), fine at library
+        scale; the tests cross-check against networkx).
+        """
+        result: Set[Edge] = set()
+        for u, v in self.edges():
+            self.remove_edge(u, v)
+            try:
+                connected = v in self.bfs_distances(u)
+            finally:
+                self.add_edge(u, v)
+            if not connected:
+                result.add((u, v))
+        return result
+
+    # ------------------------------------------------------------------
+    # k-hop neighborhoods and view graphs (paper Definition 2)
+    # ------------------------------------------------------------------
+
+    def k_hop_neighbors(self, node: int, k: int) -> Set[int]:
+        """``N_k(node)``: all nodes within ``k`` hops, including ``node``.
+
+        ``N_0(v) = {v}`` and ``N_{k+1}(v) = ∪_{u ∈ N_k(v)} N(u) ∪ N_k(v)``.
+        """
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        return set(self.bfs_distances(node, max_hops=k))
+
+    def k_hop_view_graph(self, node: int, k: int) -> "Topology":
+        """The maximum subgraph derivable from k-hop information.
+
+        ``G_k(v) = (N_k(v), E_k(v))`` with
+        ``E_k(v) = E ∩ (N_{k-1}(v) x N_k(v))``: links between two nodes that
+        are both exactly ``k`` hops away from ``v`` are invisible, because
+        they were never reported in only ``k`` rounds of "hello" exchanges.
+        """
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        distances = self.bfs_distances(node, max_hops=k)
+        view = Topology(nodes=distances)
+        for u, hops_u in distances.items():
+            if hops_u >= k:
+                # Edges from the outermost ring only connect inward and were
+                # already added when scanning the inner endpoint.
+                continue
+            for v in self._adj[u]:
+                if v in distances:
+                    view.add_edge(u, v)
+        return view
+
+    def subgraph(self, nodes: Iterable[int]) -> "Topology":
+        """The subgraph induced by ``nodes`` (all must be present)."""
+        members = set(nodes)
+        missing = members - set(self._adj)
+        if missing:
+            raise KeyError(f"nodes not in graph: {sorted(missing)}")
+        induced = Topology(nodes=members)
+        for u in members:
+            for v in self._adj[u]:
+                if v in members and u < v:
+                    induced.add_edge(u, v)
+        return induced
+
+    def is_subgraph_of(self, other: "Topology") -> bool:
+        """Whether every node and edge of ``self`` also appears in ``other``."""
+        for node in self._adj:
+            if node not in other:
+                return False
+        return all(other.has_edge(u, v) for u, v in self.edges())
+
+    # ------------------------------------------------------------------
+    # Priority metrics (paper Section 4.4)
+    # ------------------------------------------------------------------
+
+    def neighborhood_connectivity_ratio(self, node: int) -> float:
+        """``ncr(v)``: the fraction of neighbor pairs *not* directly connected.
+
+        ``ncr(v) = 1 - Σ_{u ∈ N(v)} |N(u) ∩ N(v)| / (deg(v) (deg(v) - 1))``.
+        A node whose neighbors are all pairwise adjacent has ncr 0 (it is
+        useless as a relay); a node whose neighbors are pairwise disconnected
+        has ncr 1 (it sits in a critical position).  Degree-0 and degree-1
+        nodes have no neighbor pairs; their ncr is defined as 0.0.
+        """
+        nbrs = self.neighbors(node)
+        deg = len(nbrs)
+        if deg < 2:
+            return 0.0
+        connected_pairs = sum(
+            len(self._adj[u] & nbrs) for u in nbrs
+        )
+        return 1.0 - connected_pairs / (deg * (deg - 1))
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def from_edge_list(edges: Sequence[Edge]) -> "Topology":
+        """A graph holding exactly the endpoints of ``edges``."""
+        return Topology(edges=edges)
+
+    @staticmethod
+    def complete(n: int) -> "Topology":
+        """The complete graph ``K_n`` on nodes ``0 .. n - 1``."""
+        graph = Topology(nodes=range(n))
+        for u in range(n):
+            for v in range(u + 1, n):
+                graph.add_edge(u, v)
+        return graph
+
+    @staticmethod
+    def path(n: int) -> "Topology":
+        """The path graph ``P_n`` on nodes ``0 .. n - 1``."""
+        graph = Topology(nodes=range(n))
+        for u in range(n - 1):
+            graph.add_edge(u, u + 1)
+        return graph
+
+    @staticmethod
+    def cycle(n: int) -> "Topology":
+        """The cycle ``C_n`` on nodes ``0 .. n - 1`` (n >= 3)."""
+        if n < 3:
+            raise ValueError(f"a cycle needs at least 3 nodes, got {n}")
+        graph = Topology.path(n)
+        graph.add_edge(n - 1, 0)
+        return graph
+
+    @staticmethod
+    def star(n: int) -> "Topology":
+        """A star with hub 0 and ``n - 1`` leaves."""
+        if n < 1:
+            raise ValueError(f"a star needs at least 1 node, got {n}")
+        graph = Topology(nodes=range(n))
+        for leaf in range(1, n):
+            graph.add_edge(0, leaf)
+        return graph

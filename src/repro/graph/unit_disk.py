@@ -1,0 +1,148 @@
+"""Unit-disk graph construction and transmitter-range calibration.
+
+The paper represents an ad hoc network as a unit disk graph: two nodes are
+connected when their geographical distance is within the transmission range
+``r``.  Its simulator additionally *calibrates* the range per deployment: "the
+transmitter range is adjusted according to a given average node degree d to
+produce exactly nd/2 links in the corresponding unit disk graph."  Both
+operations live here.
+"""
+
+from __future__ import annotations
+
+import math
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .geometry import Point
+from .topology import Topology
+
+__all__ = [
+    "UnitDiskGraph",
+    "build_unit_disk_graph",
+    "range_for_link_count",
+    "range_for_average_degree",
+]
+
+
+@dataclass
+class UnitDiskGraph:
+    """A unit-disk graph: topology plus the geometry that produced it.
+
+    Attributes
+    ----------
+    topology:
+        The induced undirected graph.
+    positions:
+        Node id to planar position.
+    radius:
+        The transmission range used to connect nodes.
+    """
+
+    topology: Topology
+    positions: Dict[int, Point]
+    radius: float
+
+    def __post_init__(self) -> None:
+        if set(self.positions) != set(self.topology.nodes()):
+            raise ValueError("positions and topology disagree on the node set")
+
+    @property
+    def node_count(self) -> int:
+        return self.topology.node_count()
+
+    @property
+    def link_count(self) -> int:
+        return self.topology.edge_count()
+
+    def average_degree(self) -> float:
+        """Mean node degree of the induced topology."""
+        return self.topology.average_degree()
+
+    def with_radius(self, radius: float) -> "UnitDiskGraph":
+        """Rebuild the graph with a different transmission range."""
+        return build_unit_disk_graph(self.positions, radius)
+
+
+def build_unit_disk_graph(
+    positions: Dict[int, Point], radius: float
+) -> UnitDiskGraph:
+    """Connect every pair of nodes within ``radius`` of each other.
+
+    The check is done on squared distances so no square roots are taken in
+    the O(n^2) pair loop.
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    topology = Topology(nodes=positions)
+    nodes = list(positions)
+    radius_sq = radius * radius
+    for i, u in enumerate(nodes):
+        pu = positions[u]
+        for v in nodes[i + 1:]:
+            if pu.distance_squared_to(positions[v]) <= radius_sq:
+                topology.add_edge(u, v)
+    return UnitDiskGraph(topology=topology, positions=positions, radius=radius)
+
+
+def _sorted_pair_distances_squared(positions: Dict[int, Point]) -> List[float]:
+    """All pairwise squared distances, ascending."""
+    nodes = list(positions)
+    distances = [
+        positions[u].distance_squared_to(positions[v])
+        for i, u in enumerate(nodes)
+        for v in nodes[i + 1:]
+    ]
+    distances.sort()
+    return distances
+
+
+def range_for_link_count(
+    positions: Dict[int, Point], links: int
+) -> float:
+    """The smallest transmission range producing at least ``links`` links.
+
+    The returned radius lies strictly between the ``links``-th smallest
+    pair distance and the next larger distinct one, so floating-point
+    rounding cannot drop the threshold pair.  With nodes in general
+    position (distinct pairwise distances — almost surely true for random
+    placement) the range therefore produces *exactly* ``links`` links;
+    tied distances at the threshold are all included ("at least"
+    semantics).  With ``links == 0`` a range smaller than the closest pair
+    is returned, so the graph is empty.
+    """
+    n = len(positions)
+    max_links = n * (n - 1) // 2
+    if links < 0 or links > max_links:
+        raise ValueError(
+            f"cannot realise {links} links with {n} nodes (max {max_links})"
+        )
+    distances_sq = _sorted_pair_distances_squared(positions)
+    if links == 0:
+        return math.sqrt(distances_sq[0]) / 2.0 if distances_sq else 0.0
+    threshold_sq = distances_sq[links - 1]
+    larger = [d for d in distances_sq[links:] if d > threshold_sq]
+    if larger:
+        radius_sq = (threshold_sq + larger[0]) / 2.0
+    else:
+        radius_sq = threshold_sq * 1.0000001 + 1e-12
+    return math.sqrt(radius_sq)
+
+
+def range_for_average_degree(
+    positions: Dict[int, Point], average_degree: float
+) -> Tuple[float, int]:
+    """Calibrate the range for a target average degree (paper's recipe).
+
+    Produces exactly ``round(n * d / 2)`` links.  Returns the range and the
+    realised link count.
+    """
+    if average_degree < 0:
+        raise ValueError(
+            f"average degree must be non-negative, got {average_degree}"
+        )
+    n = len(positions)
+    links = round(n * average_degree / 2.0)
+    links = min(links, n * (n - 1) // 2)
+    return range_for_link_count(positions, links), links

@@ -1,0 +1,26 @@
+"""Statistics and result aggregation for the experiment harness."""
+
+from .stats import (
+    ConfidenceInterval,
+    RepeatResult,
+    confidence_interval,
+    mean,
+    repeat_until_confident,
+    sample_stdev,
+    student_t_quantile,
+)
+from .results import DataPoint, ResultTable, Series, format_table
+
+__all__ = [
+    "ConfidenceInterval",
+    "RepeatResult",
+    "confidence_interval",
+    "mean",
+    "repeat_until_confident",
+    "sample_stdev",
+    "student_t_quantile",
+    "DataPoint",
+    "ResultTable",
+    "Series",
+    "format_table",
+]

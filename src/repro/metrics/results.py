@@ -1,0 +1,111 @@
+"""Experiment result records and paper-style table formatting.
+
+Each figure in the paper plots *number of forward nodes* against *number
+of nodes*, one series per algorithm, one panel per average degree (and,
+for Figures 14-16, per view radius).  :class:`Series` is one curve,
+:class:`ResultTable` one panel, and :func:`format_table` renders the rows
+the benchmark harness prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["DataPoint", "Series", "ResultTable", "format_table"]
+
+
+@dataclass(frozen=True)
+class DataPoint:
+    """One measured point: the x value and the aggregated metric."""
+
+    x: float
+    mean: float
+    half_width: float = 0.0
+    samples: int = 0
+
+
+@dataclass
+class Series:
+    """One labelled curve (an algorithm under one configuration)."""
+
+    label: str
+    points: List[DataPoint] = field(default_factory=list)
+
+    def add(self, point: DataPoint) -> None:
+        """Append a measured point."""
+        self.points.append(point)
+
+    def xs(self) -> List[float]:
+        """The series' x values, in insertion order."""
+        return [p.x for p in self.points]
+
+    def means(self) -> List[float]:
+        """The series' means, aligned with :meth:`xs`."""
+        return [p.mean for p in self.points]
+
+    def value_at(self, x: float) -> Optional[float]:
+        """The mean at ``x``, or ``None`` when unmeasured."""
+        for point in self.points:
+            if point.x == x:
+                return point.mean
+        return None
+
+
+@dataclass
+class ResultTable:
+    """One panel: a title, an x-axis, and several series."""
+
+    title: str
+    x_label: str
+    y_label: str
+    series: List[Series] = field(default_factory=list)
+
+    def add_series(self, series: Series) -> None:
+        """Append a series to the panel."""
+        self.series.append(series)
+
+    def get_series(self, label: str) -> Series:
+        """The series with the given label (KeyError if absent)."""
+        for series in self.series:
+            if series.label == label:
+                return series
+        raise KeyError(f"no series labelled {label!r}")
+
+    def xs(self) -> List[float]:
+        """Sorted union of every series' x values."""
+        values: List[float] = []
+        for series in self.series:
+            for x in series.xs():
+                if x not in values:
+                    values.append(x)
+        return sorted(values)
+
+
+def format_table(table: ResultTable, precision: int = 2) -> str:
+    """Render a :class:`ResultTable` as aligned text rows.
+
+    One row per x value, one column per series — the same rows the paper's
+    figures plot.
+    """
+    labels = [series.label for series in table.series]
+    header = [table.x_label, *labels]
+    rows: List[List[str]] = [header]
+    for x in table.xs():
+        row = [f"{x:g}"]
+        for series in table.series:
+            value = series.value_at(x)
+            row.append("-" if value is None else f"{value:.{precision}f}")
+        rows.append(row)
+    widths = [
+        max(len(row[col]) for row in rows) for col in range(len(header))
+    ]
+    lines = [table.title, ""]
+    for index, row in enumerate(rows):
+        line = "  ".join(
+            cell.rjust(width) for cell, width in zip(row, widths)
+        )
+        lines.append(line)
+        if index == 0:
+            lines.append("-" * len(line))
+    return "\n".join(lines)

@@ -1,0 +1,243 @@
+"""Statistics: means, Student-t confidence intervals, and the paper's
+repeat-until-precision stopping rule.
+
+The paper: "For each configuration, the simulation is repeated until the
+90% confidence interval of the average value is within ±1%."
+:func:`repeat_until_confident` implements exactly that, with configurable
+confidence and relative half-width plus safety bounds for benchmark use.
+
+The t-distribution quantile is computed from scratch (incomplete-beta
+inversion via bisection) so the core library stays dependency-free; tests
+cross-check it against ``scipy.stats``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Sequence
+
+__all__ = [
+    "mean",
+    "sample_stdev",
+    "student_t_quantile",
+    "ConfidenceInterval",
+    "confidence_interval",
+    "RepeatResult",
+    "repeat_until_confident",
+    "jain_fairness_index",
+]
+
+
+def mean(samples: Sequence[float]) -> float:
+    """Arithmetic mean; raises on an empty sequence."""
+    if not samples:
+        raise ValueError("mean of an empty sample")
+    return sum(samples) / len(samples)
+
+
+def jain_fairness_index(values: Sequence[float]) -> float:
+    """Jain's fairness index: ``(Σx)² / (n Σx²)``.
+
+    1.0 means perfectly even (every node carries equal load); ``1/n``
+    means one node carries everything.  Used by the workload experiments
+    to compare how evenly static versus dynamic forward duty spreads —
+    the energy-fairness concern that motivated Span.
+    """
+    if not values:
+        raise ValueError("fairness of an empty sequence")
+    if any(v < 0 for v in values):
+        raise ValueError("fairness expects non-negative values")
+    total = sum(values)
+    if total == 0:
+        return 1.0  # nobody loaded: trivially fair
+    squares = sum(v * v for v in values)
+    return (total * total) / (len(values) * squares)
+
+
+def sample_stdev(samples: Sequence[float]) -> float:
+    """Unbiased (n-1) sample standard deviation; needs >= 2 samples."""
+    if len(samples) < 2:
+        raise ValueError("sample stdev needs at least two samples")
+    centre = mean(samples)
+    variance = sum((x - centre) ** 2 for x in samples) / (len(samples) - 1)
+    return math.sqrt(variance)
+
+
+def _log_beta(a: float, b: float) -> float:
+    return math.lgamma(a) + math.lgamma(b) - math.lgamma(a + b)
+
+
+def _betacf(a: float, b: float, x: float) -> float:
+    """Continued fraction for the incomplete beta (Numerical Recipes)."""
+    max_iterations = 200
+    epsilon = 3e-14
+    tiny = 1e-300
+    qab, qap, qam = a + b, a + 1.0, a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < tiny:
+        d = tiny
+    d = 1.0 / d
+    h = d
+    for m in range(1, max_iterations + 1):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < tiny:
+            d = tiny
+        c = 1.0 + aa / c
+        if abs(c) < tiny:
+            c = tiny
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < epsilon:
+            return h
+    raise RuntimeError("incomplete beta continued fraction did not converge")
+
+
+def _incomplete_beta(a: float, b: float, x: float) -> float:
+    """Regularised incomplete beta ``I_x(a, b)``."""
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    front = math.exp(
+        a * math.log(x) + b * math.log(1.0 - x) - _log_beta(a, b)
+    )
+    if x < (a + 1.0) / (a + b + 2.0):
+        return front * _betacf(a, b, x) / a
+    return 1.0 - front * _betacf(b, a, 1.0 - x) / b
+
+
+def _student_t_cdf(t: float, dof: int) -> float:
+    x = dof / (dof + t * t)
+    probability = 0.5 * _incomplete_beta(dof / 2.0, 0.5, x)
+    return 1.0 - probability if t > 0 else probability
+
+
+def student_t_quantile(probability: float, dof: int) -> float:
+    """The ``probability`` quantile of Student's t with ``dof`` degrees.
+
+    Solved by bisection on the CDF — slow but exact enough, and only ever
+    called a handful of times per experiment.
+    """
+    if not 0.0 < probability < 1.0:
+        raise ValueError(f"probability must be in (0, 1), got {probability}")
+    if dof < 1:
+        raise ValueError(f"degrees of freedom must be >= 1, got {dof}")
+    if abs(probability - 0.5) < 1e-15:
+        return 0.0
+    low, high = -1e6, 1e6
+    for _ in range(200):
+        mid = (low + high) / 2.0
+        if _student_t_cdf(mid, dof) < probability:
+            low = mid
+        else:
+            high = mid
+    return (low + high) / 2.0
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A symmetric confidence interval around a sample mean."""
+
+    mean: float
+    half_width: float
+    confidence: float
+    samples: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    def relative_half_width(self) -> float:
+        """Half-width as a fraction of the mean (inf for a zero mean)."""
+        if self.mean == 0:
+            return math.inf if self.half_width else 0.0
+        return abs(self.half_width / self.mean)
+
+
+def confidence_interval(
+    samples: Sequence[float], confidence: float = 0.90
+) -> ConfidenceInterval:
+    """Student-t confidence interval of the sample mean."""
+    if len(samples) < 2:
+        raise ValueError("confidence interval needs at least two samples")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    centre = mean(samples)
+    stdev = sample_stdev(samples)
+    quantile = student_t_quantile(
+        1.0 - (1.0 - confidence) / 2.0, len(samples) - 1
+    )
+    half_width = quantile * stdev / math.sqrt(len(samples))
+    return ConfidenceInterval(
+        mean=centre,
+        half_width=half_width,
+        confidence=confidence,
+        samples=len(samples),
+    )
+
+
+@dataclass(frozen=True)
+class RepeatResult:
+    """Outcome of :func:`repeat_until_confident`."""
+
+    mean: float
+    interval: ConfidenceInterval
+    samples: List[float]
+    converged: bool
+
+
+def repeat_until_confident(
+    sample: Callable[[], float],
+    confidence: float = 0.90,
+    relative_half_width: float = 0.01,
+    min_runs: int = 10,
+    max_runs: int = 10_000,
+    batch: int = 10,
+) -> RepeatResult:
+    """Draw samples until the CI is tight enough (the paper's stopping rule).
+
+    Runs ``sample()`` in batches; stops once the ``confidence`` interval's
+    half-width falls within ``relative_half_width`` of the mean, or after
+    ``max_runs`` draws (``converged=False``).
+    """
+    if min_runs < 2:
+        raise ValueError(f"min_runs must be >= 2, got {min_runs}")
+    if max_runs < min_runs:
+        raise ValueError("max_runs must be >= min_runs")
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    samples: List[float] = []
+    while len(samples) < min_runs:
+        samples.append(float(sample()))
+    interval = confidence_interval(samples, confidence)
+    while (
+        interval.relative_half_width() > relative_half_width
+        and len(samples) < max_runs
+    ):
+        for _ in range(min(batch, max_runs - len(samples))):
+            samples.append(float(sample()))
+        interval = confidence_interval(samples, confidence)
+    return RepeatResult(
+        mean=interval.mean,
+        interval=interval,
+        samples=samples,
+        converged=interval.relative_half_width() <= relative_half_width,
+    )

@@ -1,0 +1,6 @@
+"""Routing applications built on the broadcast substrate."""
+
+from .backbone import BackboneRouter
+from .link_state import LinkStateNode, LinkStateRouting
+
+__all__ = ["BackboneRouter", "LinkStateNode", "LinkStateRouting"]

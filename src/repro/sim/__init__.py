@@ -1,0 +1,46 @@
+"""Discrete-event simulation: scheduler, MAC models, hello, broadcast engine."""
+
+from .engine import (
+    BroadcastOutcome,
+    BroadcastSession,
+    SimulationEnvironment,
+    run_broadcast,
+)
+from .energy import (
+    EnergyAwarePriority,
+    EnergyTracker,
+    LifetimeResult,
+    network_lifetime,
+)
+from .hello import HelloState, run_hello_rounds
+from .mac import CollisionMac, IdealMac, JitterMac, MacModel
+from .packet import Packet, TrailEntry
+from .reliable import ReliableBroadcastSession, ReliableOutcome
+from .rounds import run_round_broadcast
+from .scheduler import EventScheduler
+from .trace import TraceEvent, TraceRecorder
+
+__all__ = [
+    "BroadcastOutcome",
+    "BroadcastSession",
+    "SimulationEnvironment",
+    "run_broadcast",
+    "EnergyAwarePriority",
+    "EnergyTracker",
+    "LifetimeResult",
+    "network_lifetime",
+    "HelloState",
+    "run_hello_rounds",
+    "CollisionMac",
+    "IdealMac",
+    "JitterMac",
+    "MacModel",
+    "Packet",
+    "ReliableBroadcastSession",
+    "run_round_broadcast",
+    "ReliableOutcome",
+    "TrailEntry",
+    "EventScheduler",
+    "TraceEvent",
+    "TraceRecorder",
+]

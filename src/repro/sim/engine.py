@@ -1,0 +1,412 @@
+"""The broadcast engine: Algorithm 1 run over a discrete-event simulation.
+
+One :class:`SimulationEnvironment` wraps a deployment (graph + priority
+scheme) and caches what real nodes would have collected proactively — the
+k-hop view graphs from the hello protocol and the advertised priority
+metrics.  A :class:`BroadcastSession` then executes one broadcast of one
+protocol from one source:
+
+* the source always forwards;
+* every transmission is delivered to MAC-selected neighbors, who *snoop*
+  the sender as visited and absorb the piggybacked trail (recently visited
+  nodes and their designated sets);
+* at the protocol's timing point (immediately or after a backoff) each
+  receiving node decides its status via the protocol's hooks;
+* under strict neighbor-designation, a designation forces forwarding even
+  after a non-forward self-decision.
+
+The engine is deliberately protocol-agnostic: all algorithm behaviour
+lives behind :class:`~repro.algorithms.base.BroadcastProtocol`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..algorithms.base import BroadcastProtocol, NodeContext, Timing
+from ..core.priority import PriorityScheme, IdPriority
+from ..core.views import View
+from ..graph.topology import Topology
+from .mac import IdealMac, MacModel
+from .packet import Packet
+from .scheduler import EventScheduler
+from .trace import TraceRecorder
+
+__all__ = ["SimulationEnvironment", "BroadcastSession", "BroadcastOutcome", "run_broadcast"]
+
+
+class SimulationEnvironment:
+    """A deployment: topology, priority scheme, and proactive caches.
+
+    Create one per sampled network and reuse it across sources and
+    protocols — the k-hop view graphs and metric table are topology-only
+    and therefore shared.
+    """
+
+    def __init__(self, graph: Topology, scheme: Optional[PriorityScheme] = None) -> None:
+        if graph.node_count() == 0:
+            raise ValueError("cannot simulate on an empty graph")
+        self.graph = graph
+        self.scheme = scheme or IdPriority()
+        self.metrics = self.scheme.metrics(graph)
+        self._view_cache: Dict[Tuple[int, Optional[int]], Topology] = {}
+        self._two_hop_cache: Dict[int, FrozenSet[int]] = {}
+
+    def with_scheme(self, scheme: PriorityScheme) -> "SimulationEnvironment":
+        """A sibling environment with a different priority scheme.
+
+        Shares the (topology-only) view caches, so rotating priorities
+        per broadcast — e.g. ``RandomEpochPriority`` for fairness — costs
+        only one metrics pass.
+        """
+        sibling = SimulationEnvironment.__new__(SimulationEnvironment)
+        sibling.graph = self.graph
+        sibling.scheme = scheme
+        sibling.metrics = scheme.metrics(self.graph)
+        sibling._view_cache = self._view_cache
+        sibling._two_hop_cache = self._two_hop_cache
+        return sibling
+
+    def view_graph(self, node: int, hops: Optional[int]) -> Topology:
+        """``G_k(node)``, or the full graph when ``hops`` is ``None``."""
+        key = (node, hops)
+        cached = self._view_cache.get(key)
+        if cached is None:
+            if hops is None:
+                cached = self.graph
+            else:
+                cached = self.graph.k_hop_view_graph(node, hops)
+            self._view_cache[key] = cached
+        return cached
+
+    def two_hop_set(self, node: int) -> FrozenSet[int]:
+        """``N2(node)`` on the deployment graph (for TDP piggybacking)."""
+        cached = self._two_hop_cache.get(node)
+        if cached is None:
+            cached = frozenset(self.graph.k_hop_neighbors(node, 2))
+            self._two_hop_cache[node] = cached
+        return cached
+
+    def make_view(
+        self,
+        view_graph: Topology,
+        visited: FrozenSet[int],
+        designated: FrozenSet[int],
+    ) -> View:
+        """Assemble a :class:`View` over ``view_graph`` with known state."""
+        visible = set(view_graph.nodes())
+        status: Dict[int, float] = {}
+        for node in designated & visible:
+            status[node] = 1.5
+        for node in visited & visible:
+            status[node] = 2.0
+        metrics = {node: self.metrics[node] for node in visible}
+        return View(
+            graph=view_graph,
+            status=status,
+            metrics=metrics,
+            metric_padding=self.scheme.padding(),
+        )
+
+
+@dataclass
+class BroadcastOutcome:
+    """Result of one broadcast run."""
+
+    source: int
+    #: Nodes that transmitted the packet (the forward node set + source).
+    forward_nodes: Set[int]
+    #: Nodes that received at least one copy (the source counts).
+    delivered: Set[int]
+    #: Total transmissions (equals ``len(forward_nodes)``: one each).
+    transmissions: int
+    #: Simulation time of the last event.
+    completion_time: float
+    #: Per-node designation announcements, for analysis.
+    designations: Dict[int, FrozenSet[int]]
+    #: How many copies each node received (redundancy analysis).
+    receipt_counts: Dict[int, int] = field(default_factory=dict)
+    #: Total abstract packet size transmitted (see ``Packet.size_units``).
+    bytes_transmitted: int = 0
+    #: Optional event trace.
+    trace: Optional[TraceRecorder] = None
+
+    @property
+    def forward_count(self) -> int:
+        """Size of the forward node set (the paper's headline metric)."""
+        return len(self.forward_nodes)
+
+    def delivery_ratio(self, graph: Topology) -> float:
+        """Delivered fraction of all nodes."""
+        return len(self.delivered) / graph.node_count()
+
+    def mean_redundancy(self) -> float:
+        """Average copies received per delivered node (1.0 is optimal).
+
+        The broadcast-storm problem is exactly this number exploding:
+        under flooding every node hears one copy per neighbor.
+        """
+        delivered = [
+            count for node, count in self.receipt_counts.items() if count
+        ]
+        if not delivered:
+            return 0.0
+        return sum(delivered) / len(delivered)
+
+
+class _NodeState:
+    """Engine-internal per-node runtime state."""
+
+    __slots__ = (
+        "received",
+        "decided",
+        "forwarded",
+        "decision_pending",
+        "known_visited",
+        "known_designated",
+        "designators",
+        "first_packet",
+        "first_time",
+        "last_packet",
+    )
+
+    def __init__(self) -> None:
+        self.received = False
+        self.decided = False
+        self.forwarded = False
+        self.decision_pending = False
+        self.known_visited: Set[int] = set()
+        self.known_designated: Set[int] = set()
+        self.designators: Set[int] = set()
+        self.first_packet: Optional[Packet] = None
+        self.first_time: Optional[float] = None
+        self.last_packet: Optional[Packet] = None
+
+
+class BroadcastSession:
+    """One broadcast of one protocol from one source over one deployment."""
+
+    def __init__(
+        self,
+        env: SimulationEnvironment,
+        protocol: BroadcastProtocol,
+        source: int,
+        rng: Optional[random.Random] = None,
+        mac: Optional[MacModel] = None,
+        collect_trace: bool = False,
+    ) -> None:
+        if source not in env.graph:
+            raise KeyError(f"source {source} not in the deployment graph")
+        self.env = env
+        self.protocol = protocol
+        self.source = source
+        self.rng = rng or random.Random(0)
+        self.mac = mac or IdealMac()
+        self.scheduler = EventScheduler()
+        self.trace = TraceRecorder() if collect_trace else None
+        self._states: Dict[int, _NodeState] = {
+            node: _NodeState() for node in env.graph.nodes()
+        }
+        self._designations: Dict[int, FrozenSet[int]] = {}
+        self._receipt_counts: Dict[int, int] = {
+            node: 0 for node in env.graph.nodes()
+        }
+        self._bytes_transmitted = 0
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> BroadcastOutcome:
+        """Execute the broadcast to quiescence and report the outcome."""
+        self.mac.reset()
+        self.scheduler.schedule_at(0.0, self._start)
+        self.scheduler.run()
+        forward_nodes = {
+            node for node, state in self._states.items() if state.forwarded
+        }
+        delivered = {
+            node for node, state in self._states.items() if state.received
+        }
+        delivered.add(self.source)
+        return BroadcastOutcome(
+            source=self.source,
+            forward_nodes=forward_nodes,
+            delivered=delivered,
+            transmissions=len(forward_nodes),
+            completion_time=self.scheduler.now,
+            designations=dict(self._designations),
+            receipt_counts=dict(self._receipt_counts),
+            bytes_transmitted=self._bytes_transmitted,
+            trace=self.trace,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _context(self, node: int) -> NodeContext:
+        state = self._states[node]
+        return NodeContext(
+            node=node,
+            is_source=(node == self.source),
+            time=self.scheduler.now,
+            env=self.env,
+            hops=self.protocol.hops,
+            known_visited=frozenset(state.known_visited),
+            known_designated=frozenset(state.known_designated),
+            designators=frozenset(state.designators),
+            first_packet=state.first_packet,
+            rng=self.rng,
+        )
+
+    def _record(self, kind: str, node: int, detail: str = "") -> None:
+        if self.trace is not None:
+            self.trace.record(self.scheduler.now, kind, node, detail)
+
+    def _start(self) -> None:
+        state = self._states[self.source]
+        state.known_visited.add(self.source)
+        ctx = self._context(self.source)
+        designated = self.protocol.designate(ctx)
+        state.decided = True
+        self._record("decide", self.source, "source always forwards")
+        self._transmit(self.source, designated, incoming=None)
+
+    def _transmit(
+        self,
+        node: int,
+        designated: FrozenSet[int],
+        incoming: Optional[Packet],
+    ) -> None:
+        state = self._states[node]
+        state.forwarded = True
+        state.known_visited.add(node)
+        state.known_designated |= designated
+        self._designations[node] = designated
+        two_hop = (
+            self.env.two_hop_set(node)
+            if self.protocol.piggyback_two_hop
+            else None
+        )
+        if incoming is None:
+            packet = Packet.original(
+                node, designated, self.protocol.piggyback_h, two_hop
+            )
+        else:
+            packet = incoming.forwarded(
+                node, designated, self.protocol.piggyback_h, two_hop
+            )
+        self._bytes_transmitted += packet.size_units()
+        self._record("transmit", node, f"designates {sorted(designated)}")
+        # Sorted delivery order keeps same-time tie-breaks well-defined
+        # (and identical to the round-synchronous executor).
+        neighbors = sorted(self.env.graph.neighbors(node))
+        for receiver, arrival in self.mac.deliveries(
+            node, self.scheduler.now, neighbors, self.rng
+        ):
+            if arrival is None:
+                self._record("lost", receiver, f"copy from {node}")
+                continue
+            self.scheduler.schedule_at(
+                arrival,
+                lambda r=receiver, p=packet, a=arrival: self._deliver(r, p, a),
+            )
+
+    def _deliver(self, receiver: int, packet: Packet, arrival: float) -> None:
+        if self.mac.corrupted(receiver, arrival):
+            # A later transmission collided with this copy in flight.
+            self._record("lost", receiver, f"collision, copy from {packet.sender}")
+            return
+        state = self._states[receiver]
+        self._record("receive", receiver, f"from {packet.sender}")
+        self._receipt_counts[receiver] += 1
+        # Snooping: hearing the transmission marks the sender visited.
+        state.known_visited.add(packet.sender)
+        state.last_packet = packet
+        for entry in packet.trail:
+            state.known_visited.add(entry.node)
+            state.known_designated |= entry.designated
+            if receiver in entry.designated:
+                state.designators.add(entry.node)
+
+        newly_received = not state.received
+        if newly_received:
+            state.received = True
+            state.first_packet = packet
+            state.first_time = self.scheduler.now
+
+        if state.forwarded:
+            return
+        if state.decided:
+            if state.designators:
+                # Late designation after a non-forward decision: the
+                # strict rule forces forwarding; the relaxed rule
+                # re-evaluates at the node's raised (designated, S = 1.5)
+                # priority — its own earlier decision used the lower
+                # threshold and is no longer authoritative.
+                if self.protocol.strict_designation:
+                    ctx = self._context(receiver)
+                    self._record(
+                        "decide", receiver, "forced by late designation"
+                    )
+                    self._transmit(
+                        receiver, self.protocol.designate(ctx), incoming=packet
+                    )
+                elif self.protocol.relaxed_designation:
+                    ctx = self._context(receiver)
+                    if self.protocol.should_forward(ctx):
+                        self._record(
+                            "decide",
+                            receiver,
+                            "forward (re-evaluated as designated)",
+                        )
+                        self._transmit(
+                            receiver,
+                            self.protocol.designate(ctx),
+                            incoming=packet,
+                        )
+            return
+        if not state.decision_pending:
+            state.decision_pending = True
+            ctx = self._context(receiver)
+            delay = self.protocol.decision_delay(ctx, self.rng)
+            self.scheduler.schedule_in(
+                delay, lambda r=receiver: self._decide(r)
+            )
+
+    def _decide(self, node: int) -> None:
+        state = self._states[node]
+        if state.forwarded or state.decided:
+            return
+        state.decided = True
+        state.decision_pending = False
+        ctx = self._context(node)
+        forced = self.protocol.strict_designation and bool(state.designators)
+        forward = forced or self.protocol.should_forward(ctx)
+        self._record(
+            "decide",
+            node,
+            "forward" + (" (designated)" if forced else "")
+            if forward
+            else "non-forward",
+        )
+        if forward:
+            designated = self.protocol.designate(ctx)
+            self._transmit(node, designated, incoming=state.last_packet)
+
+
+def run_broadcast(
+    graph: Topology,
+    protocol: BroadcastProtocol,
+    source: int,
+    scheme: Optional[PriorityScheme] = None,
+    rng: Optional[random.Random] = None,
+    mac: Optional[MacModel] = None,
+    collect_trace: bool = False,
+) -> BroadcastOutcome:
+    """Convenience one-shot: environment + prepare + session + run."""
+    env = SimulationEnvironment(graph, scheme)
+    protocol.prepare(env)
+    session = BroadcastSession(
+        env, protocol, source, rng=rng, mac=mac, collect_trace=collect_trace
+    )
+    return session.run()

@@ -1,0 +1,80 @@
+"""The "hello" protocol: k rounds of neighborhood information exchange.
+
+Definition 2 defines k-hop information operationally: a local view contains
+k-hop information if it takes at least ``k`` rounds of neighborhood
+exchanges to build.  This module simulates those rounds message by message:
+
+* round 1 — every node announces itself; receivers learn their 1-hop
+  neighbors (and the advertised priority metrics);
+* round ``i > 1`` — every node announces its current *link table*;
+  receivers merge it, learning links up to ``i`` hops out.
+
+After ``k`` rounds, node ``v``'s table restricted to what the paper defines
+as visible equals ``G_k(v)`` — an equality the integration tests assert
+against :meth:`repro.graph.topology.Topology.k_hop_view_graph`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set, Tuple
+
+from ..graph.topology import Topology
+
+__all__ = ["HelloState", "run_hello_rounds"]
+
+Edge = Tuple[int, int]
+
+
+@dataclass
+class HelloState:
+    """One node's accumulated neighborhood knowledge."""
+
+    node: int
+    known_nodes: Set[int] = field(default_factory=set)
+    known_edges: Set[Edge] = field(default_factory=set)
+    rounds_completed: int = 0
+
+    def as_topology(self) -> Topology:
+        """The known subgraph as a :class:`Topology`."""
+        graph = Topology(nodes=self.known_nodes)
+        for u, v in self.known_edges:
+            graph.add_edge(u, v)
+        return graph
+
+
+def _normalised(u: int, v: int) -> Edge:
+    return (u, v) if u < v else (v, u)
+
+
+def run_hello_rounds(graph: Topology, k: int) -> Dict[int, HelloState]:
+    """Execute ``k`` synchronous hello rounds on every node of ``graph``.
+
+    Returns each node's :class:`HelloState`.  The message a node sends in
+    round ``i`` is its knowledge after round ``i - 1``, exactly like
+    periodic hello beacons whose payload is the sender's current table.
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    states: Dict[int, HelloState] = {
+        node: HelloState(node=node, known_nodes={node})
+        for node in graph.nodes()
+    }
+    for _round in range(k):
+        # Snapshot everyone's outgoing message first: synchronous rounds.
+        messages: Dict[int, Tuple[FrozenSet[int], FrozenSet[Edge]]] = {
+            node: (
+                frozenset(state.known_nodes),
+                frozenset(state.known_edges),
+            )
+            for node, state in states.items()
+        }
+        for node, state in states.items():
+            for sender in graph.neighbors(node):
+                sender_nodes, sender_edges = messages[sender]
+                state.known_nodes |= sender_nodes
+                state.known_edges |= sender_edges
+                state.known_nodes.add(sender)
+                state.known_edges.add(_normalised(node, sender))
+            state.rounds_completed += 1
+    return states

@@ -1,0 +1,172 @@
+"""MAC-layer models.
+
+The paper's evaluation uses "static networks with a collision-free MAC
+layer" — :class:`IdealMac`.  Two further models support the ablations the
+paper motivates elsewhere:
+
+* :class:`JitterMac` — collision-free but with a random forwarding jitter,
+  the mitigation the authors report relieves collisions;
+* :class:`CollisionMac` — transmissions arriving at a receiver within a
+  vulnerability window destroy each other, the broadcast-storm failure
+  mode.  Combined with ``JitterMac``-style jitter it reproduces the claim
+  that a small jitter restores deliverability.
+
+A MAC decides, per transmission, when (and whether) each neighbor receives
+the copy.  Loss is reported as ``None``.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+__all__ = ["MacModel", "IdealMac", "JitterMac", "CollisionMac"]
+
+Delivery = Tuple[int, Optional[float]]
+
+
+class MacModel(ABC):
+    """Maps one transmission to per-neighbor arrival times (or loss)."""
+
+    @abstractmethod
+    def deliveries(
+        self,
+        sender: int,
+        time: float,
+        neighbors: Iterable[int],
+        rng: random.Random,
+    ) -> List[Delivery]:
+        """``(receiver, arrival_time)`` pairs; ``None`` arrival means lost."""
+
+    def corrupted(self, receiver: int, arrival: float) -> bool:
+        """Whether a previously scheduled copy got corrupted in flight.
+
+        Checked by the engine when the delivery event fires, so a later
+        transmission can retroactively destroy an earlier overlapping one
+        (both copies of a collision are garbage at the receiver).
+        """
+        return False
+
+    def reset(self) -> None:
+        """Clear any per-broadcast state (stateful models override)."""
+
+
+class IdealMac(MacModel):
+    """Collision-free unit-delay medium (the paper's setting)."""
+
+    def __init__(self, delay: float = 1.0) -> None:
+        if delay <= 0:
+            raise ValueError(f"delay must be positive, got {delay}")
+        self.delay = delay
+
+    def deliveries(
+        self,
+        sender: int,
+        time: float,
+        neighbors: Iterable[int],
+        rng: random.Random,
+    ) -> List[Delivery]:
+        arrival = time + self.delay
+        return [(receiver, arrival) for receiver in neighbors]
+
+
+class JitterMac(MacModel):
+    """Collision-free medium with uniform random per-link jitter."""
+
+    def __init__(self, delay: float = 1.0, jitter: float = 0.5) -> None:
+        if delay <= 0:
+            raise ValueError(f"delay must be positive, got {delay}")
+        if jitter < 0:
+            raise ValueError(f"jitter must be non-negative, got {jitter}")
+        self.delay = delay
+        self.jitter = jitter
+
+    def deliveries(
+        self,
+        sender: int,
+        time: float,
+        neighbors: Iterable[int],
+        rng: random.Random,
+    ) -> List[Delivery]:
+        return [
+            (receiver, time + self.delay + rng.uniform(0.0, self.jitter))
+            for receiver in neighbors
+        ]
+
+
+class CollisionMac(MacModel):
+    """Two arrivals within the vulnerability window collide and are lost.
+
+    Tracks, per receiver, the arrival time of every scheduled copy.  When
+    two copies land within ``window`` of each other at the same receiver,
+    **both** are destroyed: the new one is reported lost immediately and
+    the earlier one is poisoned, which the engine discovers through
+    :meth:`corrupted` when its delivery event fires.  This is a
+    simplified interference model — adequate for the
+    redundancy-vs-reliability ablation, not a full 802.11 simulation.
+    """
+
+    def __init__(
+        self, delay: float = 1.0, jitter: float = 0.0, window: float = 0.5
+    ) -> None:
+        if delay <= 0:
+            raise ValueError(f"delay must be positive, got {delay}")
+        if jitter < 0:
+            raise ValueError(f"jitter must be non-negative, got {jitter}")
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.delay = delay
+        self.jitter = jitter
+        self.window = window
+        #: Every arrival ever attempted (even lost copies occupy air time).
+        self._arrivals: Dict[int, List[float]] = {}
+        #: Arrivals that were scheduled as deliveries and may be poisoned.
+        self._scheduled: Dict[int, Set[float]] = {}
+        self._poisoned: Dict[int, Set[float]] = {}
+        #: Count of copies destroyed by collisions (for reporting).
+        self.collisions = 0
+
+    def reset(self) -> None:
+        self._arrivals.clear()
+        self._scheduled.clear()
+        self._poisoned.clear()
+        self.collisions = 0
+
+    def deliveries(
+        self,
+        sender: int,
+        time: float,
+        neighbors: Iterable[int],
+        rng: random.Random,
+    ) -> List[Delivery]:
+        result: List[Delivery] = []
+        for receiver in neighbors:
+            arrival = time + self.delay + (
+                rng.uniform(0.0, self.jitter) if self.jitter else 0.0
+            )
+            history = self._arrivals.setdefault(receiver, [])
+            overlapping = [
+                earlier
+                for earlier in history
+                if abs(arrival - earlier) < self.window
+            ]
+            history.append(arrival)
+            if overlapping:
+                # The new copy is lost, and any previously *scheduled*
+                # overlapping copy is retroactively destroyed too.
+                poisoned = self._poisoned.setdefault(receiver, set())
+                scheduled = self._scheduled.get(receiver, set())
+                for earlier in overlapping:
+                    if earlier in scheduled and earlier not in poisoned:
+                        poisoned.add(earlier)
+                        self.collisions += 1
+                self.collisions += 1
+                result.append((receiver, None))
+            else:
+                self._scheduled.setdefault(receiver, set()).add(arrival)
+                result.append((receiver, arrival))
+        return result
+
+    def corrupted(self, receiver: int, arrival: float) -> bool:
+        return arrival in self._poisoned.get(receiver, ())

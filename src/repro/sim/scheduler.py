@@ -1,0 +1,73 @@
+"""A minimal deterministic discrete-event scheduler.
+
+Events are ``(time, sequence)``-ordered callbacks: equal-time events fire in
+scheduling order, so a seeded simulation replays identically.  The
+scheduler is intentionally tiny — the broadcast engine is its only client,
+but it is generic enough for the hello protocol and the mobility ablations.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+__all__ = ["EventScheduler"]
+
+Callback = Callable[[], None]
+
+
+class EventScheduler:
+    """Time-ordered callback execution with FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._queue: List[Tuple[float, int, Callback]] = []
+        self._sequence = itertools.count()
+        self._now = 0.0
+        self._executed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def executed_events(self) -> int:
+        """How many events have fired so far."""
+        return self._executed
+
+    @property
+    def pending_events(self) -> int:
+        """How many events are waiting."""
+        return len(self._queue)
+
+    def schedule_at(self, time: float, callback: Callback) -> None:
+        """Run ``callback`` at absolute ``time`` (must not be in the past)."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time}; simulation time is {self._now}"
+            )
+        heapq.heappush(self._queue, (time, next(self._sequence), callback))
+
+    def schedule_in(self, delay: float, callback: Callback) -> None:
+        """Run ``callback`` after ``delay`` time units."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self.schedule_at(self._now + delay, callback)
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Drain the queue; return the number of events executed.
+
+        ``max_events`` caps execution (a safety valve for tests); ``None``
+        runs to quiescence.
+        """
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                break
+            time, _seq, callback = heapq.heappop(self._queue)
+            self._now = time
+            callback()
+            executed += 1
+            self._executed += 1
+        return executed

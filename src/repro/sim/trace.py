@@ -1,0 +1,49 @@
+"""Event trace recording for debugging, examples, and tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+__all__ = ["TraceEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded simulation event."""
+
+    time: float
+    kind: str
+    node: int
+    detail: str = ""
+
+    def __str__(self) -> str:
+        suffix = f" {self.detail}" if self.detail else ""
+        return f"[{self.time:8.3f}] {self.kind:<8} node {self.node}{suffix}"
+
+
+class TraceRecorder:
+    """Accumulates :class:`TraceEvent` records in time order."""
+
+    def __init__(self) -> None:
+        self._events: List[TraceEvent] = []
+
+    def record(self, time: float, kind: str, node: int, detail: str = "") -> None:
+        """Append one event."""
+        self._events.append(TraceEvent(time, kind, node, detail))
+
+    def events(self, kind: str = "") -> List[TraceEvent]:
+        """All events, optionally filtered by kind."""
+        if not kind:
+            return list(self._events)
+        return [event for event in self._events if event.kind == kind]
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def format(self) -> str:
+        """The whole trace as printable text."""
+        return "\n".join(str(event) for event in self._events)

@@ -1,0 +1,7 @@
+"""Visualisation: ASCII charts, SVG line charts, SVG network plots."""
+
+from .ascii_plot import ascii_chart
+from .chart_svg import chart_svg
+from .network_svg import network_svg
+
+__all__ = ["ascii_chart", "chart_svg", "network_svg"]

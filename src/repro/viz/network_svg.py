@@ -1,0 +1,92 @@
+"""SVG rendering of deployments and forward node sets (Figure 9 style).
+
+Draws the unit-disk graph with links in light grey, non-forward nodes as
+small hollow circles, forward nodes filled, and the source highlighted —
+the same visual language as the paper's Figure 9.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from ..graph.unit_disk import UnitDiskGraph
+
+__all__ = ["network_svg"]
+
+_STYLE = (
+    "<style>"
+    ".link { stroke: #c8c8c8; stroke-width: 0.4; }"
+    ".plain { fill: #ffffff; stroke: #404040; stroke-width: 0.5; }"
+    ".forward { fill: #2040a0; stroke: #102050; stroke-width: 0.5; }"
+    ".source { fill: #c03020; stroke: #601810; stroke-width: 0.7; }"
+    ".label { font: 3px sans-serif; fill: #202020; }"
+    "</style>"
+)
+
+
+def network_svg(
+    network: UnitDiskGraph,
+    forward_nodes: Iterable[int] = (),
+    source: Optional[int] = None,
+    title: str = "",
+    scale: float = 6.0,
+    margin: float = 5.0,
+    labels: bool = False,
+) -> str:
+    """An SVG document string for ``network``.
+
+    ``forward_nodes`` are drawn filled, the ``source`` in a distinct
+    color; set ``labels`` to annotate node ids.
+    """
+    forward: Set[int] = set(forward_nodes)
+    xs = [p.x for p in network.positions.values()]
+    ys = [p.y for p in network.positions.values()]
+    width = (max(xs) - min(xs) + 2 * margin) * scale if xs else 100.0
+    height = (max(ys) - min(ys) + 2 * margin) * scale if ys else 100.0
+    x0 = min(xs) - margin if xs else 0.0
+    y0 = min(ys) - margin if ys else 0.0
+
+    def sx(value: float) -> float:
+        return (value - x0) * scale
+
+    def sy(value: float) -> float:
+        # SVG's y axis grows downward; flip to match plot conventions.
+        return height - (value - y0) * scale
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" '
+        f'width="{width:.0f}" height="{height:.0f}" '
+        f'viewBox="0 0 {width:.0f} {height:.0f}">',
+        _STYLE,
+    ]
+    if title:
+        parts.append(
+            f'<text x="4" y="10" style="font: 8px sans-serif">{title}</text>'
+        )
+    for u, v in network.topology.edges():
+        pu, pv = network.positions[u], network.positions[v]
+        parts.append(
+            f'<line class="link" x1="{sx(pu.x):.1f}" y1="{sy(pu.y):.1f}" '
+            f'x2="{sx(pv.x):.1f}" y2="{sy(pv.y):.1f}"/>'
+        )
+    for node, position in network.positions.items():
+        if node == source:
+            css = "source"
+            radius = 2.4 * scale / 6.0
+        elif node in forward:
+            css = "forward"
+            radius = 2.0 * scale / 6.0
+        else:
+            css = "plain"
+            radius = 1.4 * scale / 6.0
+        parts.append(
+            f'<circle class="{css}" cx="{sx(position.x):.1f}" '
+            f'cy="{sy(position.y):.1f}" r="{radius:.1f}"/>'
+        )
+        if labels:
+            parts.append(
+                f'<text class="label" x="{sx(position.x) + 2:.1f}" '
+                f'y="{sy(position.y) - 2:.1f}">{node}</text>'
+            )
+    parts.append("</svg>")
+    return "".join(parts)

@@ -1,0 +1,62 @@
+"""Tests for the shared designation helpers and flooding."""
+
+import pytest
+
+from repro.algorithms.designation import coverage_map, greedy_cover_designation
+from repro.algorithms.flooding import Flooding
+from repro.graph.topology import Topology
+from repro.sim.engine import run_broadcast
+
+
+class TestCoverageMap:
+    def test_maps_candidates_to_target_intersections(self):
+        graph = Topology(edges=[(1, 2), (1, 3), (2, 4), (3, 4), (3, 5)])
+        cover = coverage_map(graph, [2, 3], {4, 5})
+        assert cover == {2: {4}, 3: {4, 5}}
+
+    def test_ignores_candidates_outside_graph(self):
+        graph = Topology(edges=[(1, 2)])
+        assert coverage_map(graph, [2, 99], {1}) == {2: {1}}
+
+
+class TestGreedyCoverDesignation:
+    def test_minimal_choice(self):
+        graph = Topology(edges=[(1, 2), (1, 3), (2, 4), (3, 4), (3, 5)])
+        chosen = greedy_cover_designation(graph, {2, 3}, {4, 5})
+        assert chosen == frozenset({3})
+
+    def test_uncoverable_targets_dropped(self):
+        graph = Topology(edges=[(1, 2), (2, 3), (8, 9)])
+        chosen = greedy_cover_designation(graph, {2}, {3, 9})
+        assert chosen == frozenset({2})  # 9 dropped, 3 covered
+
+    def test_empty_targets_no_designation(self):
+        graph = Topology(edges=[(1, 2), (2, 3)])
+        assert greedy_cover_designation(graph, {2}, set()) == frozenset()
+
+    def test_no_candidates_no_designation(self):
+        graph = Topology(edges=[(1, 2), (2, 3)])
+        assert greedy_cover_designation(graph, set(), {3}) == frozenset()
+
+
+class TestFlooding:
+    def test_every_node_forwards_exactly_once(self):
+        graph = Topology.cycle(8)
+        outcome = run_broadcast(graph, Flooding(), source=0)
+        assert outcome.forward_nodes == set(range(8))
+        assert outcome.transmissions == 8
+
+    def test_flooding_is_the_upper_bound(self):
+        from repro.algorithms.generic import GenericSelfPruning
+
+        import random
+        from repro.graph.generators import random_connected_network
+
+        rng = random.Random(88)
+        net = random_connected_network(30, 6.0, rng)
+        flood = run_broadcast(net.topology, Flooding(), source=0)
+        pruned = run_broadcast(
+            net.topology, GenericSelfPruning(), source=0,
+            rng=random.Random(1),
+        )
+        assert pruned.forward_count <= flood.forward_count

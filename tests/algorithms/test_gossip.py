@@ -1,0 +1,88 @@
+"""Tests for the probabilistic gossip baseline."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.algorithms.gossip import Gossip
+from repro.graph.generators import random_connected_network
+from repro.graph.topology import Topology
+from repro.sim.engine import run_broadcast
+
+
+class TestGossipParameters:
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Gossip(p=-0.1)
+        with pytest.raises(ValueError):
+            Gossip(p=1.1)
+        with pytest.raises(ValueError):
+            Gossip(sure_hops=-1)
+
+    def test_name_encodes_p(self):
+        assert Gossip(p=0.65).name == "gossip-0.65"
+
+
+class TestGossipBehaviour:
+    def test_p1_is_flooding(self):
+        graph = Topology.cycle(8)
+        outcome = run_broadcast(graph, Gossip(p=1.0), source=0)
+        assert outcome.forward_nodes == set(range(8))
+
+    def test_p0_with_guard_reaches_two_hops(self):
+        graph = Topology.path(5)
+        outcome = run_broadcast(
+            graph, Gossip(p=0.0, sure_hops=1), source=0,
+            rng=random.Random(0),
+        )
+        # Source forwards; node 1 (heard the source directly) forwards
+        # under the guard; node 2's coin is always tails.
+        assert outcome.forward_nodes == {0, 1}
+        assert outcome.delivered == {0, 1, 2}
+
+    def test_coverage_is_not_guaranteed(self):
+        """The paper's core criticism: gossip can miss nodes."""
+        rng = random.Random(5)
+        net = random_connected_network(40, 6.0, rng)
+        misses = 0
+        for trial in range(30):
+            outcome = run_broadcast(
+                net.topology, Gossip(p=0.4), source=0,
+                rng=random.Random(trial),
+            )
+            if len(outcome.delivered) < 40:
+                misses += 1
+        assert misses > 0
+
+    def test_delivery_improves_with_p(self):
+        rng = random.Random(6)
+        net = random_connected_network(40, 6.0, rng)
+
+        def mean_delivery(p: float) -> float:
+            ratios = []
+            for trial in range(20):
+                outcome = run_broadcast(
+                    net.topology, Gossip(p=p), source=0,
+                    rng=random.Random(trial),
+                )
+                ratios.append(len(outcome.delivered) / 40)
+            return statistics.mean(ratios)
+
+        assert mean_delivery(0.9) >= mean_delivery(0.3)
+
+    def test_conservative_p_yields_large_forward_sets(self):
+        """High p approaches flooding — the cost of reliability."""
+        rng = random.Random(7)
+        net = random_connected_network(40, 6.0, rng)
+        outcome = run_broadcast(
+            net.topology, Gossip(p=0.95), source=0, rng=random.Random(1)
+        )
+        # Compare with the deterministic pruning framework.
+        from repro.algorithms.generic import GenericSelfPruning
+
+        pruned = run_broadcast(
+            net.topology, GenericSelfPruning(), source=0,
+            rng=random.Random(1),
+        )
+        assert outcome.forward_count > pruned.forward_count

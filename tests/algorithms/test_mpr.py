@@ -1,0 +1,70 @@
+"""Tests for multipoint relays."""
+
+import random
+
+import pytest
+
+from repro.algorithms.mpr import MultipointRelay
+from repro.core.priority import IdPriority
+from repro.graph.generators import random_connected_network
+from repro.graph.topology import Topology
+from repro.sim.engine import SimulationEnvironment, run_broadcast
+
+
+def _prepared(graph) -> MultipointRelay:
+    env = SimulationEnvironment(graph, IdPriority())
+    protocol = MultipointRelay()
+    protocol.prepare(env)
+    return protocol
+
+
+class TestMprSelection:
+    def test_mpr_sets_cover_two_hop_neighbors(self):
+        rng = random.Random(41)
+        net = random_connected_network(30, 6.0, rng)
+        protocol = _prepared(net.topology)
+        graph = net.topology
+        for node in graph.nodes():
+            relays = protocol.mpr_sets[node]
+            assert relays <= graph.neighbors(node)
+            targets = graph.k_hop_neighbors(node, 2) - graph.neighbors(
+                node
+            ) - {node}
+            covered = set()
+            for relay in relays:
+                covered |= graph.neighbors(relay)
+            assert targets <= covered
+
+    def test_no_two_hop_neighbors_no_relays(self):
+        protocol = _prepared(Topology.complete(4))
+        for node in range(4):
+            assert protocol.mpr_sets[node] == frozenset()
+
+    def test_path_picks_the_inward_neighbor(self):
+        protocol = _prepared(Topology.path(4))
+        assert protocol.mpr_sets[0] == frozenset({1})
+        assert protocol.mpr_sets[1] == frozenset({2})
+
+
+class TestMprForwarding:
+    def test_broadcast_covers_random_networks(self):
+        rng = random.Random(42)
+        for _ in range(5):
+            net = random_connected_network(30, 6.0, rng)
+            source = rng.choice(net.topology.nodes())
+            outcome = run_broadcast(
+                net.topology, MultipointRelay(), source=source, rng=rng
+            )
+            assert outcome.delivered == set(net.topology.nodes())
+
+    def test_only_designated_first_senders_trigger_forwarding(self):
+        # Star: the hub's MPR set is empty (no 2-hop neighbors), so no
+        # leaf forwards, yet the hub's transmission covers everyone.
+        outcome = run_broadcast(Topology.star(6), MultipointRelay(), source=0)
+        assert outcome.forward_nodes == {0}
+        assert outcome.delivered == set(range(6))
+
+    def test_relays_carry_across_a_path(self):
+        outcome = run_broadcast(Topology.path(5), MultipointRelay(), source=0)
+        assert outcome.forward_nodes == {0, 1, 2, 3}
+        assert outcome.delivered == set(range(5))

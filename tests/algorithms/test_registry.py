@@ -1,0 +1,64 @@
+"""Tests for the protocol registry and Table 1."""
+
+import pytest
+
+from repro.algorithms.base import BroadcastProtocol
+from repro.algorithms.registry import (
+    REGISTRY,
+    create,
+    names,
+    table1_rows,
+)
+
+
+class TestRegistry:
+    def test_all_names_instantiate(self):
+        for name in names():
+            protocol = create(name)
+            assert isinstance(protocol, BroadcastProtocol)
+
+    def test_factories_return_fresh_instances(self):
+        assert create("sba") is not create("sba")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            create("quantum-flooding")
+
+    def test_expected_protocols_present(self):
+        expected = {
+            "flooding", "wu-li", "rule-k", "span", "mpr", "sba",
+            "stojmenovic", "lenwb", "dp", "tdp", "pdp",
+            "hybrid-maxdeg", "hybrid-minpri", "generic-nd",
+            "generic-static", "generic-fr", "generic-frb", "generic-frbd",
+        }
+        assert expected <= set(names())
+
+    def test_metadata_consistent(self):
+        for info in REGISTRY.values():
+            assert info.category in {
+                "static", "first-receipt", "first-receipt-with-backoff"
+            }
+            assert info.selection in {
+                "self-pruning", "neighbor-designating", "hybrid"
+            }
+
+
+class TestTable1:
+    def test_three_timing_rows(self):
+        rows = table1_rows()
+        assert [row[0] for row in rows] == [
+            "static", "first-receipt", "first-receipt-with-backoff"
+        ]
+
+    def test_paper_classification(self):
+        """Table 1: Rule k, Span | MPR; LENWB | DP, PDP; SBA | -."""
+        rows = {row[0]: (row[1], row[2]) for row in table1_rows()}
+        static_sp, static_nd = rows["static"]
+        assert "rule-k" in static_sp and "span" in static_sp
+        assert "mpr" in static_nd
+        fr_sp, fr_nd = rows["first-receipt"]
+        assert "lenwb" in fr_sp
+        assert "dp" in fr_nd and "pdp" in fr_nd
+        frb_sp, frb_nd = rows["first-receipt-with-backoff"]
+        assert "sba" in frb_sp
+        assert frb_nd == "-"

@@ -1,0 +1,108 @@
+"""Tests for the static protocols: Rule-k, Span, GenericStatic."""
+
+import random
+
+import pytest
+
+from repro.algorithms.generic import GenericStatic
+from repro.algorithms.rule_k import RuleK
+from repro.algorithms.span import Span
+from repro.core.priority import IdPriority, NcrPriority
+from repro.graph.cds import is_cds
+from repro.graph.generators import random_connected_network
+from repro.graph.paperfigs import figure6a
+from repro.graph.topology import Topology
+from repro.sim.engine import SimulationEnvironment, run_broadcast
+
+
+def _prepare(protocol, graph, scheme=None):
+    env = SimulationEnvironment(graph, scheme or IdPriority())
+    protocol.prepare(env)
+    return protocol
+
+
+class TestRuleK:
+    def test_requires_two_hop_minimum(self):
+        with pytest.raises(ValueError):
+            RuleK(hops=1)
+
+    def test_forward_sets_are_cds(self):
+        rng = random.Random(31)
+        for hops in (2, 3):
+            net = random_connected_network(30, 6.0, rng)
+            protocol = _prepare(RuleK(hops=hops), net.topology)
+            assert is_cds(net.topology, protocol.forward_set)
+
+    def test_more_hops_never_worse(self):
+        rng = random.Random(32)
+        for _ in range(5):
+            net = random_connected_network(30, 6.0, rng)
+            two = _prepare(RuleK(hops=2), net.topology)
+            three = _prepare(RuleK(hops=3), net.topology)
+            assert len(three.forward_set) <= len(two.forward_set)
+
+    def test_figure6a_keeps_node4(self):
+        """Rule-k uses the strong condition: node 4 stays forward."""
+        fig = figure6a()
+        protocol = _prepare(RuleK(hops=3), fig.topology)
+        assert 4 in protocol.forward_set
+
+
+class TestSpan:
+    def test_forward_sets_are_cds(self):
+        rng = random.Random(33)
+        net = random_connected_network(30, 6.0, rng)
+        protocol = _prepare(Span(), net.topology, NcrPriority())
+        assert is_cds(net.topology, protocol.forward_set)
+
+    def test_triangle_needs_no_coordinator(self):
+        protocol = _prepare(Span(), Topology.complete(3))
+        assert protocol.forward_set == frozenset()
+
+    def test_long_detour_not_accepted(self):
+        # Node 1's neighbors 2, 3 connected only by a 3-intermediate path:
+        # Span keeps 1 as coordinator, the generic condition prunes it.
+        graph = Topology(
+            edges=[(1, 2), (1, 3), (2, 4), (4, 5), (5, 6), (6, 3)]
+        )
+        span = _prepare(Span(hops=None), graph)
+        generic = _prepare(GenericStatic(hops=None), graph)
+        assert 1 in span.forward_set
+        assert 1 not in generic.forward_set
+
+
+class TestGenericStatic:
+    def test_forward_sets_are_cds_across_radii(self):
+        rng = random.Random(34)
+        net = random_connected_network(30, 6.0, rng)
+        for hops in (2, 3, None):
+            protocol = _prepare(GenericStatic(hops=hops), net.topology)
+            assert is_cds(net.topology, protocol.forward_set)
+
+    def test_generic_at_most_rule_k(self):
+        """The full coverage condition prunes at least as much as Rule-k."""
+        rng = random.Random(35)
+        for _ in range(5):
+            net = random_connected_network(25, 6.0, rng)
+            rule_k = _prepare(RuleK(hops=3), net.topology)
+            generic = _prepare(GenericStatic(hops=3), net.topology)
+            assert generic.forward_set <= rule_k.forward_set
+
+    def test_strong_variant_vs_rule_k(self):
+        """Rule-k = marking + strong condition, so it prunes a superset."""
+        rng = random.Random(36)
+        for _ in range(5):
+            net = random_connected_network(25, 6.0, rng)
+            strong = _prepare(
+                GenericStatic(hops=2, strong=True), net.topology
+            )
+            rule_k = _prepare(RuleK(hops=2), net.topology)
+            assert rule_k.forward_set <= strong.forward_set
+
+    def test_broadcast_covers(self):
+        rng = random.Random(37)
+        net = random_connected_network(30, 6.0, rng)
+        outcome = run_broadcast(
+            net.topology, GenericStatic(hops=2), source=3, rng=rng
+        )
+        assert outcome.delivered == set(net.topology.nodes())

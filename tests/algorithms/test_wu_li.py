@@ -1,0 +1,100 @@
+"""Tests for Wu & Li's marking process and pruning Rules 1 and 2."""
+
+import random
+
+import pytest
+
+from repro.algorithms.wu_li import WuLi, is_marked, rule1_applies, rule2_applies
+from repro.core.priority import IdPriority
+from repro.core.views import global_view
+from repro.graph.cds import is_cds
+from repro.graph.generators import random_connected_network
+from repro.graph.topology import Topology
+from repro.sim.engine import SimulationEnvironment, run_broadcast
+
+SCHEME = IdPriority()
+
+
+class TestMarking:
+    def test_clique_nodes_unmarked(self):
+        view = global_view(Topology.complete(4), SCHEME)
+        for node in range(4):
+            assert not is_marked(view, node)
+
+    def test_path_interior_marked(self):
+        view = global_view(Topology.path(3), SCHEME)
+        assert is_marked(view, 1)
+        assert not is_marked(view, 0)  # single neighbor
+
+    def test_star_hub_marked(self):
+        view = global_view(Topology.star(4), SCHEME)
+        assert is_marked(view, 0)
+
+
+class TestRule1:
+    def test_covered_by_higher_neighbor(self):
+        # N(1) = {2, 3}; node 3 also adjacent to 2: N(1) - {3} subset N(3).
+        view = global_view(
+            Topology(edges=[(1, 2), (1, 3), (3, 2)]), SCHEME
+        )
+        assert rule1_applies(view, 1)
+
+    def test_priority_direction_matters(self):
+        # Symmetric cover, but node 3 cannot defer to node 1 (lower id).
+        view = global_view(
+            Topology(edges=[(1, 2), (1, 3), (3, 2)]), SCHEME
+        )
+        assert not rule1_applies(view, 3)
+
+    def test_incomplete_cover_fails(self):
+        view = global_view(
+            Topology(edges=[(1, 2), (1, 3), (1, 4), (4, 2)]), SCHEME
+        )
+        assert not rule1_applies(view, 1)
+
+
+class TestRule2:
+    def test_two_connected_coverage_nodes(self):
+        # N(1) = {2, 3, 4}; 3-4 connected, N(1)-{3,4}={2} covered by 3.
+        view = global_view(
+            Topology(edges=[(1, 2), (1, 3), (1, 4), (3, 4), (3, 2)]),
+            SCHEME,
+        )
+        assert rule2_applies(view, 1)
+
+    def test_disconnected_coverage_nodes_fail(self):
+        # Star around 1: no two neighbors are adjacent, so no connected
+        # coverage pair exists at all.
+        view = global_view(Topology.star(4), SCHEME)
+        assert not rule2_applies(view, 0)
+
+    def test_priority_filter_on_both_nodes(self):
+        # Node 4's neighbors 2 and 3 are connected and cover each other,
+        # but both rank below 4, so Rule 2 cannot fire for node 4.
+        view = global_view(
+            Topology(edges=[(4, 2), (4, 3), (2, 3)]), SCHEME
+        )
+        assert not rule2_applies(view, 4)
+
+
+class TestProtocol:
+    def test_forward_set_is_cds_on_random_networks(self):
+        rng = random.Random(21)
+        for _ in range(5):
+            net = random_connected_network(30, 6.0, rng)
+            env = SimulationEnvironment(net.topology, SCHEME)
+            protocol = WuLi()
+            protocol.prepare(env)
+            assert is_cds(net.topology, protocol.forward_set)
+
+    def test_broadcast_covers(self):
+        rng = random.Random(22)
+        net = random_connected_network(30, 6.0, rng)
+        outcome = run_broadcast(net.topology, WuLi(), source=0, rng=rng)
+        assert outcome.delivered == set(net.topology.nodes())
+
+    def test_clique_prunes_to_marking(self):
+        env = SimulationEnvironment(Topology.complete(5), SCHEME)
+        protocol = WuLi()
+        protocol.prepare(env)
+        assert protocol.forward_set == frozenset()

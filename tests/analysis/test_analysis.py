@@ -1,0 +1,124 @@
+"""Tests for decision explanations and broadcast trees."""
+
+import random
+
+import pytest
+
+from repro.analysis.broadcast_tree import BroadcastTree, build_broadcast_tree
+from repro.analysis.explain import explain_decision
+from repro.algorithms.flooding import Flooding
+from repro.algorithms.generic import GenericSelfPruning
+from repro.core.priority import IdPriority
+from repro.core.views import global_view
+from repro.graph.generators import random_connected_network
+from repro.graph.paperfigs import figure6a
+from repro.graph.topology import Topology
+from repro.sim.engine import run_broadcast
+
+SCHEME = IdPriority()
+
+
+class TestExplain:
+    def test_uncovered_pair_reported(self):
+        view = global_view(Topology.path(3), SCHEME)
+        explanation = explain_decision(view, 1)
+        assert not explanation.non_forward
+        assert explanation.status == "forward"
+        assert explanation.uncovered() == [(0, 2)]
+        assert "UNCOVERED" in explanation.describe()
+
+    def test_direct_edge_pair(self):
+        view = global_view(Topology.complete(3), SCHEME)
+        explanation = explain_decision(view, 0)
+        assert explanation.non_forward
+        assert all(p.covered for p in explanation.pairs)
+        assert "direct edge" in explanation.describe()
+
+    def test_replacement_path_pair(self):
+        view = global_view(
+            Topology(edges=[(1, 2), (1, 3), (2, 4), (4, 3)]), SCHEME
+        )
+        explanation = explain_decision(view, 1)
+        assert explanation.non_forward
+        (pair,) = explanation.pairs
+        assert pair.path == (2, 4, 3)
+        assert "replaced via 2 -> 4 -> 3" in explanation.describe()
+
+    def test_condition_variants_reported(self):
+        fig = figure6a()
+        view = global_view(fig.topology, SCHEME)
+        explanation = explain_decision(view, 4)
+        assert explanation.non_forward
+        assert not explanation.strong_non_forward
+        assert "strong coverage condition  : violated" in (
+            explanation.describe()
+        )
+
+    def test_agreement_with_coverage_condition_on_random_networks(self):
+        rng = random.Random(61)
+        net = random_connected_network(20, 5.0, rng)
+        view = global_view(net.topology, SCHEME)
+        from repro.core.coverage import coverage_condition
+
+        for node in net.topology.nodes():
+            explanation = explain_decision(view, node)
+            assert explanation.non_forward == coverage_condition(view, node)
+            assert explanation.non_forward == (not explanation.uncovered())
+
+
+class TestBroadcastTree:
+    def _traced(self, graph, protocol, source=0):
+        return run_broadcast(
+            graph, protocol, source=source, rng=random.Random(1),
+            collect_trace=True,
+        )
+
+    def test_requires_trace(self):
+        outcome = run_broadcast(Topology.path(3), Flooding(), source=0)
+        with pytest.raises(ValueError):
+            build_broadcast_tree(outcome)
+
+    def test_path_graph_tree_is_the_path(self):
+        outcome = self._traced(Topology.path(4), Flooding())
+        tree = build_broadcast_tree(outcome)
+        assert tree.root == 0
+        assert tree.parents == {1: 0, 2: 1, 3: 2}
+        assert tree.depth() == 3
+        assert tree.depth_of(3) == 3
+
+    def test_star_tree_is_flat(self):
+        outcome = self._traced(Topology.star(5), Flooding())
+        tree = build_broadcast_tree(outcome)
+        assert tree.depth() == 1
+        assert tree.children(0) == [1, 2, 3, 4]
+        assert tree.mean_branching() == 4.0
+
+    def test_tree_spans_delivered_nodes(self):
+        rng = random.Random(62)
+        net = random_connected_network(30, 6.0, rng)
+        outcome = run_broadcast(
+            net.topology, GenericSelfPruning(), source=0,
+            rng=rng, collect_trace=True,
+        )
+        tree = build_broadcast_tree(outcome)
+        assert tree.nodes() == outcome.delivered
+
+    def test_internal_nodes_are_forwarders(self):
+        rng = random.Random(63)
+        net = random_connected_network(30, 6.0, rng)
+        outcome = run_broadcast(
+            net.topology, GenericSelfPruning(), source=0,
+            rng=rng, collect_trace=True,
+        )
+        tree = build_broadcast_tree(outcome)
+        assert tree.internal_nodes() <= outcome.forward_nodes
+
+    def test_cycle_detection(self):
+        tree = BroadcastTree(root=0, parents={1: 2, 2: 1})
+        with pytest.raises(ValueError):
+            tree.depth_of(1)
+
+    def test_empty_tree(self):
+        tree = BroadcastTree(root=0)
+        assert tree.depth() == 0
+        assert tree.mean_branching() == 0.0

@@ -1,0 +1,40 @@
+"""Explanations on dynamic views: visited nodes and the virtual clique."""
+
+from repro.analysis.explain import explain_decision
+from repro.core.priority import IdPriority
+from repro.core.views import global_view
+from repro.graph.paperfigs import figure2, figure6b
+from repro.graph.topology import Topology
+
+SCHEME = IdPriority()
+
+
+class TestDynamicExplanations:
+    def test_visited_intermediate_in_path(self):
+        fig = figure2()
+        view = global_view(fig.topology, SCHEME, visited=fig.visited)
+        explanation = explain_decision(view, 2)  # v of the figure
+        assert explanation.non_forward
+        paths = {p.pair: p.path for p in explanation.pairs}
+        # u=10, w=11; the maximal replacement path runs through visited y.
+        assert paths[(10, 11)] == (10, 9, 6, 4, 11)
+
+    def test_virtual_clique_pair_shows_as_covered(self):
+        # Neighbors 8 and 9 both visited, no edge: covered by convention.
+        view = global_view(
+            Topology(edges=[(3, 8), (3, 9)]), SCHEME, visited={8, 9}
+        )
+        explanation = explain_decision(view, 3)
+        assert explanation.non_forward
+        (pair,) = explanation.pairs
+        assert pair.covered
+
+    def test_figure6b_strong_vs_generic_agreement(self):
+        fig = figure6b()
+        view = global_view(fig.topology, SCHEME, visited=fig.visited)
+        explanation = explain_decision(view, 2)
+        # Both conditions prune node 2 on this dynamic view.
+        assert explanation.non_forward
+        assert explanation.strong_non_forward
+        # Span refuses: it may not use the visited intermediates at all.
+        assert not explanation.span_non_forward

@@ -1,0 +1,112 @@
+"""Tests for mobility management via conservative views."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.precomputed import PrecomputedForwardSet
+from repro.core.conservative import (
+    conservative_forward_set,
+    conservative_local_view,
+    conservative_view_graph,
+)
+from repro.core.coverage import coverage_condition
+from repro.core.priority import DegreePriority, IdPriority
+from repro.core.views import local_view
+from repro.graph.cds import is_cds
+from repro.graph.generators import random_connected_network
+from repro.graph.geometry import Area, random_points
+from repro.graph.mobility import RandomWaypointModel
+from repro.graph.topology import Topology
+from repro.sim.engine import run_broadcast
+
+SCHEME = IdPriority()
+
+
+def _snapshots(seed: int, n: int = 25, degree: float = 8.0, dt: float = 2.0):
+    """Two consecutive connected snapshots of a random-waypoint walk."""
+    rng = random.Random(seed)
+    while True:
+        positions = random_points(n, Area(), rng)
+        model = RandomWaypointModel(
+            positions, radius=35.0, rng=rng, min_speed=0.5, max_speed=3.0
+        )
+        old = model.snapshot().topology
+        model.advance(dt)
+        new = model.snapshot().topology
+        if old.is_connected() and new.is_connected():
+            return old, new
+
+
+class TestConservativeViewGraph:
+    def test_links_require_both_snapshots(self):
+        old = Topology(edges=[(0, 1), (1, 2), (2, 3)])
+        new = Topology(edges=[(0, 1), (1, 2), (1, 3)])
+        graph = conservative_view_graph(old, new, 2, k=None)
+        assert graph.has_edge(0, 1)
+        assert graph.has_edge(1, 2)
+        assert not graph.has_edge(1, 3)  # only in new
+
+    def test_center_keeps_union_neighbors(self):
+        old = Topology(edges=[(0, 1), (1, 2), (2, 3)])
+        new = Topology(edges=[(0, 1), (1, 2), (1, 3)])
+        graph = conservative_view_graph(old, new, 1, k=None)
+        # Neighbor 3 joined in the new snapshot: it must still be covered.
+        assert graph.has_edge(1, 3)
+        assert graph.has_edge(1, 0)
+        assert graph.has_edge(1, 2)
+
+    def test_missing_center_rejected(self):
+        with pytest.raises(KeyError):
+            conservative_view_graph(
+                Topology(nodes=[0]), Topology(nodes=[1]), 0
+            )
+
+    def test_identical_snapshots_reduce_to_plain_view(self):
+        graph = Topology.cycle(6)
+        conservative = conservative_view_graph(graph, graph, 0, k=2)
+        plain = graph.k_hop_view_graph(0, 2)
+        assert conservative == plain
+
+
+class TestConservativeForwardSet:
+    def test_conservative_prunes_no_more_than_exact(self):
+        old, new = _snapshots(seed=3)
+        conservative = conservative_forward_set(old, new, SCHEME, k=2)
+        exact_forward = {
+            v
+            for v in new.nodes()
+            if not coverage_condition(local_view(new, v, 2, SCHEME), v)
+        }
+        assert exact_forward <= conservative
+
+    @pytest.mark.parametrize("seed", [1, 2, 5, 8])
+    def test_covers_both_endpoint_topologies(self, seed):
+        old, new = _snapshots(seed=seed)
+        forward = conservative_forward_set(old, new, SCHEME, k=2)
+        assert is_cds(old, forward & set(old.nodes()))
+        assert is_cds(new, forward & set(new.nodes()))
+
+    def test_degree_priority_also_safe(self):
+        old, new = _snapshots(seed=11)
+        forward = conservative_forward_set(old, new, DegreePriority(), k=2)
+        assert is_cds(new, forward)
+
+    def test_broadcast_on_new_topology_covers(self):
+        old, new = _snapshots(seed=13)
+        forward = conservative_forward_set(old, new, SCHEME, k=2)
+        protocol = PrecomputedForwardSet(forward, name="conservative")
+        source = min(f for f in forward)
+        outcome = run_broadcast(new, protocol, source=source)
+        assert outcome.delivered == set(new.nodes())
+
+
+@given(st.integers(min_value=0, max_value=500))
+@settings(max_examples=25, deadline=None)
+def test_property_conservative_covers_either_endpoint(seed):
+    old, new = _snapshots(seed=seed)
+    forward = conservative_forward_set(old, new, SCHEME, k=2)
+    assert is_cds(old, forward)
+    assert is_cds(new, forward)

@@ -1,0 +1,190 @@
+"""Unit tests for the coverage conditions."""
+
+import pytest
+
+from repro.core.coverage import (
+    coverage_condition,
+    higher_priority_components,
+    span_condition,
+    strong_coverage_condition,
+    uncovered_pairs,
+)
+from repro.core.priority import IdPriority
+from repro.core.views import global_view
+from repro.graph.topology import Topology
+
+SCHEME = IdPriority()
+
+
+def _view(edges, visited=(), **kwargs):
+    return global_view(Topology(edges=edges), SCHEME, visited=visited)
+
+
+class TestCoverageCondition:
+    def test_leaf_is_vacuously_non_forward(self):
+        view = _view([(1, 2)])
+        assert coverage_condition(view, 1)
+        assert coverage_condition(view, 2)
+
+    def test_path_middle_must_forward(self):
+        view = _view([(1, 2), (2, 3)])
+        assert not coverage_condition(view, 2)
+        assert uncovered_pairs(view, 2) == [(1, 3)]
+
+    def test_triangle_all_prunable(self):
+        view = _view([(1, 2), (2, 3), (1, 3)])
+        for node in (1, 2, 3):
+            assert coverage_condition(view, node)
+
+    def test_higher_priority_intermediate(self):
+        # 1 - 2 - 3 plus detour 1 - 4 - 3: node 2 replaced by node 4.
+        view = _view([(1, 2), (2, 3), (1, 4), (4, 3)])
+        assert coverage_condition(view, 2)
+        # Node 4 cannot rely on node 2 (lower id).
+        assert not coverage_condition(view, 4)
+
+    def test_every_pair_must_be_replaced(self):
+        # Star hub 1 with leaves 2, 3, 4; detour only between 2 and 3.
+        view = _view([(1, 2), (1, 3), (1, 4), (2, 5), (5, 3)])
+        assert not coverage_condition(view, 1)
+        assert (2, 4) in uncovered_pairs(view, 1)
+        assert (3, 4) in uncovered_pairs(view, 1)
+        assert (2, 3) not in uncovered_pairs(view, 1)
+
+    def test_chained_direct_edges_do_not_transfer(self):
+        """A pair needs its own path: u-x and x-w edges do not give u-w.
+
+        With v = 9 the intermediates must outrank everyone, so only direct
+        edges count; neighbors 1-2 and 2-3 are adjacent pairwise, but the
+        pair (1, 3) is uncovered.
+        """
+        view = _view([(9, 1), (9, 2), (9, 3), (1, 2), (2, 3)])
+        assert uncovered_pairs(view, 9) == [(1, 3)]
+        assert not coverage_condition(view, 9)
+
+    def test_low_priority_intermediate_rejected(self):
+        # 5's neighbors 6, 7 connected only via node 1 (lower priority).
+        view = _view([(5, 6), (5, 7), (6, 1), (1, 7)])
+        assert not coverage_condition(view, 5)
+
+    def test_visited_intermediate_always_eligible(self):
+        # Same topology, but node 1 is visited: priority (2, 1) tops (1, 5).
+        view = _view([(5, 6), (5, 7), (6, 1), (1, 7)], visited={1})
+        assert coverage_condition(view, 5)
+
+    def test_disconnected_visited_nodes_count_as_connected(self):
+        # v=3's neighbors 1, 2 each adjacent to a different visited node;
+        # the visited pair has no edge but is connected by convention.
+        view = _view([(3, 1), (3, 2), (1, 8), (2, 9)], visited={8, 9})
+        assert coverage_condition(view, 3)
+
+    def test_without_convention_disconnected_visited_fail(self):
+        base = _view([(3, 1), (3, 2), (1, 8), (2, 9)], visited={8, 9})
+        view = type(base)(
+            graph=base.graph,
+            status=base.status,
+            metrics=base.metrics,
+            metric_padding=base.metric_padding,
+            visited_connected=False,
+        )
+        assert not coverage_condition(view, 3)
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(KeyError):
+            coverage_condition(_view([(1, 2)]), 99)
+
+
+class TestStrongCoverage:
+    def test_strong_implies_generic_on_samples(self):
+        samples = [
+            _view([(1, 2), (2, 3), (1, 4), (4, 3)]),
+            _view([(1, 2), (1, 3), (2, 4), (3, 4), (4, 5)]),
+            _view([(2, 1), (2, 3), (1, 3)], visited={3}),
+        ]
+        for view in samples:
+            for node in view.graph.nodes():
+                if strong_coverage_condition(view, node):
+                    assert coverage_condition(view, node)
+
+    def test_dominating_connected_component(self):
+        # v=1, N(1) = {2, 3}; nodes 4, 5 connected, 4 covers 2, 5 covers 3.
+        view = _view([(1, 2), (1, 3), (2, 4), (4, 5), (5, 3)])
+        assert strong_coverage_condition(view, 1)
+
+    def test_split_components_fail_strong(self):
+        # Coverage works pairwise but no single component dominates N(4):
+        # the paper's Figure 6(a) pattern.
+        view = _view(
+            [
+                (4, 1), (4, 2), (4, 3),
+                (1, 5), (5, 2),
+                (1, 6), (6, 3),
+                (3, 7), (7, 8), (8, 2),
+            ]
+        )
+        assert coverage_condition(view, 4)
+        assert not strong_coverage_condition(view, 4)
+
+    def test_leaf_vacuous(self):
+        view = _view([(1, 2)])
+        assert strong_coverage_condition(view, 1)
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(KeyError):
+            strong_coverage_condition(_view([(1, 2)]), 99)
+
+
+class TestHigherPriorityComponents:
+    def test_components_exclude_low_priority(self):
+        view = _view([(1, 2), (2, 3), (3, 4)])
+        components = higher_priority_components(view, 2)
+        # Eligible: 3, 4 (ids above 2); they are adjacent.
+        assert sorted(sorted(c) for c in components) == [[3, 4]]
+
+    def test_visited_fusion(self):
+        view = _view([(1, 5), (2, 6), (1, 2)], visited={5, 6})
+        components = higher_priority_components(view, 1)
+        merged = [c for c in components if {5, 6} <= c]
+        assert merged  # 5 and 6 fused despite no edge
+
+
+class TestSpanCondition:
+    def test_direct_connection(self):
+        view = _view([(1, 2), (1, 3), (2, 3)])
+        assert span_condition(view, 1)
+
+    def test_one_intermediate(self):
+        view = _view([(1, 2), (1, 3), (2, 4), (4, 3)])
+        assert span_condition(view, 1)
+
+    def test_two_intermediates(self):
+        view = _view([(1, 2), (1, 3), (2, 4), (4, 5), (5, 3)])
+        assert span_condition(view, 1)
+
+    def test_three_intermediates_rejected(self):
+        view = _view(
+            [(1, 2), (1, 3), (2, 4), (4, 5), (5, 6), (6, 3)]
+        )
+        assert not span_condition(view, 1)
+        # ... but the unrestricted coverage condition accepts.
+        assert coverage_condition(view, 1)
+
+    def test_visited_intermediates_excluded(self):
+        view = _view([(1, 2), (1, 3), (2, 4), (4, 3)], visited={4})
+        assert not span_condition(view, 1)
+
+    def test_low_priority_intermediate_rejected(self):
+        view = _view([(5, 6), (5, 7), (6, 1), (1, 7)])
+        assert not span_condition(view, 5)
+
+    def test_zero_intermediates_only_direct(self):
+        view = _view([(1, 2), (1, 3), (2, 4), (4, 3)])
+        assert not span_condition(view, 1, max_intermediates=0)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            span_condition(_view([(1, 2)]), 1, max_intermediates=-1)
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(KeyError):
+            span_condition(_view([(1, 2)]), 99)

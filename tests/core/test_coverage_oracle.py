@@ -1,0 +1,106 @@
+"""Brute-force oracle for the coverage condition.
+
+The production implementation uses connected components of the
+higher-priority subgraph; the oracle below enumerates replacement paths
+directly with per-pair BFS through eligible intermediates.  Property
+tests assert exact agreement on random graphs, random priorities, and
+random visited sets — including the virtual visited-connectivity
+convention, which the oracle models as explicit extra edges.
+"""
+
+import random
+from collections import deque
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import status as st_mod
+from repro.core.coverage import coverage_condition, uncovered_pairs
+from repro.core.priority import DegreePriority, IdPriority
+from repro.core.views import View, global_view
+from repro.graph.topology import Topology
+
+
+def _oracle_pair_clean(view: View, u: int, w: int, v: int) -> bool:
+    """Cleaner restatement: path u -> w with all interior in eligible."""
+    if view.graph.has_edge(u, w):
+        return True
+    threshold = view.priority(v)
+    eligible = {
+        x for x in view.graph if x != v and view.priority(x) > threshold
+    }
+    visited = {x for x in view.graph if view.is_visited(x)}
+    if (
+        view.visited_connected
+        and view.is_visited(u)
+        and view.is_visited(w)
+    ):
+        return True
+
+    def adjacency(x):
+        result = set(view.graph.neighbors(x))
+        if view.visited_connected and x in visited:
+            result |= visited - {x}
+        return result
+
+    # BFS over eligible intermediates, starting from u's eligible
+    # neighbors (or, if u is visited, the virtual clique too).
+    frontier = deque(x for x in adjacency(u) if x in eligible)
+    seen = set(frontier)
+    while frontier:
+        x = frontier.popleft()
+        if w in adjacency(x):
+            return True
+        for y in adjacency(x):
+            if y in eligible and y not in seen:
+                seen.add(y)
+                frontier.append(y)
+    return False
+
+
+@st.composite
+def random_views(draw):
+    n = draw(st.integers(min_value=3, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=2 ** 32 - 1))
+    rng = random.Random(seed)
+    graph = Topology(nodes=range(n))
+    for i in range(1, n):
+        graph.add_edge(i, rng.randrange(i))
+    for _ in range(rng.randrange(2 * n)):
+        a, b = rng.sample(range(n), 2)
+        graph.add_edge(a, b)
+    scheme = draw(st.sampled_from([IdPriority(), DegreePriority()]))
+    visited_count = draw(st.integers(min_value=0, max_value=3))
+    visited = set(rng.sample(range(n), min(visited_count, n)))
+    return global_view(graph, scheme, visited=visited)
+
+
+@given(random_views())
+@settings(max_examples=120, deadline=None)
+def test_uncovered_pairs_match_bruteforce(view):
+    for v in view.graph.nodes():
+        if view.is_visited(v):
+            continue  # the condition is only ever asked for un-visited nodes
+        failing = set(uncovered_pairs(view, v))
+        neighbors = sorted(view.graph.neighbors(v))
+        for i, u in enumerate(neighbors):
+            for w in neighbors[i + 1:]:
+                expected = _oracle_pair_clean(view, u, w, v)
+                assert ((u, w) not in failing) == expected, (
+                    v, (u, w), expected
+                )
+
+
+@given(random_views())
+@settings(max_examples=100, deadline=None)
+def test_coverage_condition_matches_bruteforce(view):
+    for v in view.graph.nodes():
+        if view.is_visited(v):
+            continue
+        neighbors = sorted(view.graph.neighbors(v))
+        expected = all(
+            _oracle_pair_clean(view, u, w, v)
+            for i, u in enumerate(neighbors)
+            for w in neighbors[i + 1:]
+        )
+        assert coverage_condition(view, v) == expected, v

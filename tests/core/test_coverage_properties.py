@@ -1,0 +1,161 @@
+"""Property-based tests of the paper's theorems (hypothesis).
+
+* Theorem 1: on any connected, non-complete graph, the nodes failing the
+  coverage condition (under one shared view) form a CDS.
+* Theorem 2: the same holds when every node evaluates the condition under
+  its own k-hop local view.
+* Strong coverage implies generic coverage.
+* Monotonicity: non-forward under a local view implies non-forward under
+  the global (super) view.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coverage import (
+    coverage_condition,
+    strong_coverage_condition,
+)
+from repro.core.priority import DegreePriority, IdPriority, NcrPriority
+from repro.core.views import global_view, local_view
+from repro.graph.cds import is_cds
+from repro.graph.generators import random_connected_network
+from repro.graph.topology import Topology
+
+
+@st.composite
+def connected_graphs(draw, min_nodes: int = 3, max_nodes: int = 14):
+    """A random connected Topology (spanning tree plus extra edges)."""
+    n = draw(st.integers(min_value=min_nodes, max_value=max_nodes))
+    seed = draw(st.integers(min_value=0, max_value=2 ** 32 - 1))
+    rng = random.Random(seed)
+    graph = Topology(nodes=range(n))
+    order = list(range(n))
+    rng.shuffle(order)
+    for i in range(1, n):
+        graph.add_edge(order[i], rng.choice(order[:i]))
+    extra = draw(st.integers(min_value=0, max_value=2 * n))
+    for _ in range(extra):
+        u, v = rng.sample(range(n), 2)
+        graph.add_edge(u, v)
+    return graph
+
+
+SCHEMES = [IdPriority(), DegreePriority(), NcrPriority()]
+
+
+def _forward_set(graph, view):
+    return {
+        node for node in graph.nodes() if not coverage_condition(view, node)
+    }
+
+
+@given(connected_graphs(), st.sampled_from(SCHEMES))
+@settings(max_examples=80, deadline=None)
+def test_theorem1_static_global_view(graph, scheme):
+    view = global_view(graph, scheme)
+    forward = _forward_set(graph, view)
+    assert is_cds(graph, forward)
+
+
+@given(
+    connected_graphs(),
+    st.sampled_from(SCHEMES),
+    st.integers(min_value=0, max_value=5),
+)
+@settings(max_examples=60, deadline=None)
+def test_theorem1_with_visited_nodes(graph, scheme, visited_seed):
+    """Visited nodes grown as a connected front from a source."""
+    rng = random.Random(visited_seed)
+    source = rng.choice(graph.nodes())
+    visited = {source}
+    for _ in range(visited_seed):
+        frontier = set()
+        for v in visited:
+            frontier |= set(graph.neighbors(v))
+        frontier -= visited
+        if not frontier:
+            break
+        visited.add(rng.choice(sorted(frontier)))
+    view = global_view(graph, scheme, visited=visited)
+    forward = {
+        node
+        for node in graph.nodes()
+        if node not in visited and not coverage_condition(view, node)
+    }
+    assert is_cds(graph, forward | visited)
+
+
+@given(
+    connected_graphs(),
+    st.sampled_from(SCHEMES),
+    st.integers(min_value=2, max_value=4),
+)
+@settings(max_examples=60, deadline=None)
+def test_theorem2_distinct_local_views(graph, scheme, k):
+    metrics = scheme.metrics(graph)
+    forward = set()
+    for node in graph.nodes():
+        view = local_view(graph, node, k, scheme, metrics=metrics)
+        if not coverage_condition(view, node):
+            forward.add(node)
+    assert is_cds(graph, forward)
+
+
+@given(
+    connected_graphs(),
+    st.sampled_from(SCHEMES),
+    st.integers(min_value=2, max_value=4),
+)
+@settings(max_examples=60, deadline=None)
+def test_monotonicity_local_nonforward_holds_globally(graph, scheme, k):
+    """A node pruned under its local view is pruned under the global view."""
+    metrics = scheme.metrics(graph)
+    full = global_view(graph, scheme, metrics=metrics)
+    for node in graph.nodes():
+        view = local_view(graph, node, k, scheme, metrics=metrics)
+        if coverage_condition(view, node):
+            assert coverage_condition(full, node)
+
+
+@given(connected_graphs(), st.sampled_from(SCHEMES))
+@settings(max_examples=80, deadline=None)
+def test_strong_implies_generic(graph, scheme):
+    view = global_view(graph, scheme)
+    for node in graph.nodes():
+        if strong_coverage_condition(view, node):
+            assert coverage_condition(view, node)
+
+
+@given(connected_graphs(), st.sampled_from(SCHEMES))
+@settings(max_examples=50, deadline=None)
+def test_strong_condition_also_yields_cds(graph, scheme):
+    view = global_view(graph, scheme)
+    forward = {
+        node
+        for node in graph.nodes()
+        if not strong_coverage_condition(view, node)
+    }
+    assert is_cds(graph, forward)
+
+
+@given(
+    connected_graphs(),
+    st.integers(min_value=2, max_value=3),
+)
+@settings(max_examples=40, deadline=None)
+def test_view_radius_monotone_pruning(graph, k):
+    """Bigger views never prune fewer nodes under the same priorities.
+
+    A k-hop view is a subview of the (k+1)-hop view at the same node, so
+    the replacement paths it exposes are a subset.
+    """
+    scheme = IdPriority()
+    metrics = scheme.metrics(graph)
+    for node in graph.nodes():
+        small = local_view(graph, node, k, scheme, metrics=metrics)
+        big = local_view(graph, node, k + 1, scheme, metrics=metrics)
+        if coverage_condition(small, node):
+            assert coverage_condition(big, node)

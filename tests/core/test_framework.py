@@ -1,0 +1,127 @@
+"""Tests for the four-axis FrameworkConfig surface."""
+
+import random
+
+import pytest
+
+from repro.algorithms.base import Timing
+from repro.algorithms.generic import (
+    GenericNeighborDesignating,
+    GenericSelfPruning,
+    GenericStatic,
+)
+from repro.algorithms.hybrid import MaxDegHybrid, MinPriHybrid
+from repro.core.framework import FrameworkConfig, build_protocol, build_scheme
+from repro.core.priority import DegreePriority, IdPriority, NcrPriority
+from repro.core.status import status_name, INVISIBLE, UNVISITED, DESIGNATED, VISITED
+from repro.graph.generators import random_connected_network
+from repro.sim.engine import run_broadcast
+
+
+class TestStatusNames:
+    def test_names(self):
+        assert status_name(INVISIBLE) == "invisible"
+        assert status_name(UNVISITED) == "unvisited"
+        assert status_name(DESIGNATED) == "designated"
+        assert status_name(VISITED) == "visited"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            status_name(3.0)
+
+    def test_ordering(self):
+        assert INVISIBLE < UNVISITED < DESIGNATED < VISITED
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        config = FrameworkConfig()
+        assert config.timing == "fr"
+        assert config.hops == 2
+
+    def test_unknown_timing(self):
+        with pytest.raises(ValueError):
+            FrameworkConfig(timing="sometimes")
+
+    def test_unknown_selection(self):
+        with pytest.raises(ValueError):
+            FrameworkConfig(selection="voting")
+
+    def test_bad_hops(self):
+        with pytest.raises(ValueError):
+            FrameworkConfig(hops=0)
+
+    def test_static_designation_rejected(self):
+        with pytest.raises(ValueError):
+            FrameworkConfig(timing="static", selection="hybrid-maxdeg")
+        with pytest.raises(ValueError):
+            FrameworkConfig(timing="static", selection="neighbor-designating")
+
+
+class TestBuildProtocol:
+    def test_static_self_pruning(self):
+        protocol = build_protocol(FrameworkConfig(timing="static"))
+        assert isinstance(protocol, GenericStatic)
+
+    def test_dynamic_self_pruning_timings(self):
+        for timing, enum_value in [
+            ("fr", Timing.FIRST_RECEIPT),
+            ("frb", Timing.FIRST_RECEIPT_BACKOFF),
+            ("frbd", Timing.FIRST_RECEIPT_BACKOFF_DEGREE),
+        ]:
+            protocol = build_protocol(FrameworkConfig(timing=timing))
+            assert isinstance(protocol, GenericSelfPruning)
+            assert protocol.timing is enum_value
+
+    def test_selections(self):
+        assert isinstance(
+            build_protocol(FrameworkConfig(selection="neighbor-designating")),
+            GenericNeighborDesignating,
+        )
+        assert isinstance(
+            build_protocol(FrameworkConfig(selection="hybrid-maxdeg")),
+            MaxDegHybrid,
+        )
+        assert isinstance(
+            build_protocol(FrameworkConfig(selection="hybrid-minpri")),
+            MinPriHybrid,
+        )
+
+    def test_hops_propagated(self):
+        protocol = build_protocol(FrameworkConfig(hops=4))
+        assert protocol.hops == 4
+        protocol = build_protocol(FrameworkConfig(hops=None))
+        assert protocol.hops is None
+
+
+class TestBuildScheme:
+    @pytest.mark.parametrize(
+        "name, cls",
+        [("id", IdPriority), ("degree", DegreePriority), ("ncr", NcrPriority)],
+    )
+    def test_schemes(self, name, cls):
+        assert isinstance(
+            build_scheme(FrameworkConfig(priority=name)), cls
+        )
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("timing", ["static", "fr", "frb", "frbd"])
+    @pytest.mark.parametrize(
+        "selection", ["self-pruning", "neighbor-designating", "hybrid-maxdeg"]
+    )
+    def test_every_configuration_covers(self, timing, selection):
+        if timing == "static" and selection != "self-pruning":
+            pytest.skip("statically invalid combination")
+        rng = random.Random(99)
+        net = random_connected_network(30, 6.0, rng)
+        config = FrameworkConfig(timing=timing, selection=selection)
+        outcome = run_broadcast(
+            net.topology,
+            build_protocol(config),
+            source=0,
+            scheme=build_scheme(config),
+            rng=rng,
+        )
+        assert len(outcome.delivered) == 30
+        assert outcome.forward_count <= 30

@@ -1,0 +1,141 @@
+"""Tests for max-min nodes and maximal replacement paths (Lemma 1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coverage import coverage_condition
+from repro.core.maxmin import max_min_node, max_min_path
+from repro.core.priority import IdPriority
+from repro.core.views import global_view
+from repro.graph.topology import Topology
+
+SCHEME = IdPriority()
+
+
+def _view(edges, visited=()):
+    return global_view(Topology(edges=edges), SCHEME, visited=visited)
+
+
+class TestMaxMinNode:
+    def test_direct_edge_needs_no_intermediate(self):
+        view = _view([(1, 2), (1, 3), (2, 3)])
+        assert max_min_node(view, 2, 3, 1) is None
+
+    def test_single_intermediate(self):
+        view = _view([(1, 2), (1, 3), (2, 4), (4, 3)])
+        assert max_min_node(view, 2, 3, 1) == 4
+
+    def test_picks_widest_path(self):
+        # Two detours between 2 and 3: through 4 and through 5; the
+        # max-min node is the one on the *better* path, i.e. 5.
+        view = _view([(1, 2), (1, 3), (2, 4), (4, 3), (2, 5), (5, 3)])
+        assert max_min_node(view, 2, 3, 1) == 5
+
+    def test_bottleneck_on_longer_path(self):
+        # Path 2-9-4-3: bottleneck is 4; path 2-5-3: bottleneck 5.
+        view = _view(
+            [(1, 2), (1, 3), (2, 9), (9, 4), (4, 3), (2, 5), (5, 3)]
+        )
+        assert max_min_node(view, 2, 3, 1) == 5
+
+    def test_no_path_returns_none(self):
+        view = _view([(1, 2), (1, 3)])
+        assert max_min_node(view, 2, 3, 1) is None
+
+    def test_low_priority_path_invisible(self):
+        # Only connection between 8 and 9 avoiding v=7 runs through 2 < 7.
+        view = _view([(7, 8), (7, 9), (8, 2), (2, 9)])
+        assert max_min_node(view, 8, 9, 7) is None
+
+
+class TestMaxMinPath:
+    def test_direct_edge_path(self):
+        view = _view([(1, 2), (1, 3), (2, 3)])
+        assert max_min_path(view, 2, 3, 1) == [2, 3]
+
+    def test_recursive_expansion(self):
+        view = _view([(1, 2), (1, 3), (2, 9), (9, 4), (4, 3)])
+        assert max_min_path(view, 2, 3, 1) == [2, 9, 4, 3]
+
+    def test_none_when_no_replacement(self):
+        view = _view([(1, 2), (1, 3)])
+        assert max_min_path(view, 2, 3, 1) is None
+
+    def test_visited_chain_via_convention(self):
+        # u adj visited 8, w adj visited 9, no edge 8-9: the virtual
+        # visited clique supplies the path u, 8, 9, w.
+        view = _view([(3, 1), (3, 2), (1, 8), (2, 9)], visited={8, 9})
+        path = max_min_path(view, 1, 2, 3)
+        assert path == [1, 8, 9, 2]
+
+
+@st.composite
+def replacement_cases(draw):
+    """A random connected graph plus a (v, u, w) triple with u,w in N(v)."""
+    n = draw(st.integers(min_value=4, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=2 ** 32 - 1))
+    rng = random.Random(seed)
+    graph = Topology(nodes=range(n))
+    for i in range(1, n):
+        graph.add_edge(i, rng.randrange(i))
+    for _ in range(draw(st.integers(min_value=0, max_value=2 * n))):
+        u, v = rng.sample(range(n), 2)
+        graph.add_edge(u, v)
+    v = next(
+        node for node in sorted(graph.nodes()) if graph.degree(node) >= 2
+    )
+    u, w = sorted(rng.sample(sorted(graph.neighbors(v)), 2))
+    return graph, v, u, w
+
+
+@given(replacement_cases())
+@settings(max_examples=120, deadline=None)
+def test_lemma1_properties(case):
+    """Whenever a maximal replacement path exists it satisfies Lemma 1."""
+    graph, v, u, w = case
+    view = global_view(graph, SCHEME)
+    path = max_min_path(view, u, w, v)
+    if path is None:
+        return
+    # Connects the endpoints.
+    assert path[0] == u and path[-1] == w
+    # Simple (all nodes distinct) — the heart of Lemma 1's termination.
+    assert len(path) == len(set(path))
+    threshold = view.priority(v)
+    for previous, current in zip(path, path[1:]):
+        assert view.graph.has_edge(previous, current)
+    for intermediate in path[1:-1]:
+        # Higher priority than v ...
+        assert view.priority(intermediate) > threshold
+        # ... and itself unprunable under the current view (maximality).
+        assert not coverage_condition(view, intermediate)
+
+
+@given(replacement_cases())
+@settings(max_examples=80, deadline=None)
+def test_path_exists_iff_pair_replaceable(case):
+    """max_min_path agrees with an exhaustive reachability check."""
+    graph, v, u, w = case
+    view = global_view(graph, SCHEME)
+    path = max_min_path(view, u, w, v)
+    # Brute-force: is w reachable from u through higher-priority nodes?
+    threshold = view.priority(v)
+    allowed = {
+        x
+        for x in graph.nodes()
+        if x != v and view.priority(x) > threshold
+    }
+    reachable = {u}
+    frontier = [u]
+    while frontier:
+        x = frontier.pop()
+        for y in graph.neighbors(x):
+            if y == w:
+                reachable.add(w)
+            elif y in allowed and y not in reachable:
+                reachable.add(y)
+                frontier.append(y)
+    assert (path is not None) == (w in reachable)

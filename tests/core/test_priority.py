@@ -1,0 +1,106 @@
+"""Tests for priority schemes and key assembly."""
+
+import pytest
+
+from repro.core.priority import (
+    DegreePriority,
+    IdPriority,
+    NcrPriority,
+    make_key,
+    scheme_by_name,
+)
+from repro.core.status import UNVISITED, VISITED
+from repro.graph.topology import Topology
+
+
+@pytest.fixture
+def fan_graph() -> Topology:
+    """Node 0 hub of a 4-star, plus an edge 1-2 (so ncr(0) < 1)."""
+    graph = Topology.star(5)
+    graph.add_edge(1, 2)
+    return graph
+
+
+class TestMakeKey:
+    def test_status_dominates(self):
+        low_id_visited = make_key(VISITED, (), 1)
+        high_id_unvisited = make_key(UNVISITED, (), 99)
+        assert low_id_visited > high_id_unvisited
+
+    def test_metric_beats_id(self):
+        assert make_key(UNVISITED, (5.0,), 1) > make_key(UNVISITED, (3.0,), 9)
+
+    def test_id_breaks_ties(self):
+        assert make_key(UNVISITED, (5.0,), 7) > make_key(UNVISITED, (5.0,), 3)
+
+
+class TestIdPriority:
+    def test_empty_metrics(self, fan_graph):
+        scheme = IdPriority()
+        assert scheme.metrics(fan_graph) == {
+            node: () for node in fan_graph.nodes()
+        }
+        assert scheme.arity == 0
+        assert scheme.extra_rounds == 0
+        assert scheme.padding() == ()
+
+
+class TestDegreePriority:
+    def test_metrics_are_degrees(self, fan_graph):
+        scheme = DegreePriority()
+        metrics = scheme.metrics(fan_graph)
+        assert metrics[0] == (4.0,)
+        assert metrics[3] == (1.0,)
+        assert scheme.extra_rounds == 1
+
+    def test_metric_of_single_node(self, fan_graph):
+        assert DegreePriority().metric_of(fan_graph, 1) == (2.0,)
+
+
+class TestNcrPriority:
+    def test_metrics_include_ncr_then_degree(self, fan_graph):
+        scheme = NcrPriority()
+        metrics = scheme.metrics(fan_graph)
+        ncr0, deg0 = metrics[0]
+        assert deg0 == 4.0
+        # Hub: 2 of 12 ordered neighbor pairs connected.
+        assert ncr0 == pytest.approx(1 - 2 / 12)
+        assert scheme.extra_rounds == 2
+
+    def test_padding_matches_arity(self):
+        assert NcrPriority().padding() == (0.0, 0.0)
+
+
+class TestSchemeByName:
+    @pytest.mark.parametrize(
+        "name, cls",
+        [("id", IdPriority), ("degree", DegreePriority), ("ncr", NcrPriority)],
+    )
+    def test_lookup(self, name, cls):
+        assert isinstance(scheme_by_name(name), cls)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            scheme_by_name("energy")
+
+
+class TestRandomEpochPriority:
+    def test_same_seed_same_order(self, fan_graph):
+        from repro.core.priority import RandomEpochPriority
+
+        a = RandomEpochPriority(seed=5).metrics(fan_graph)
+        b = RandomEpochPriority(seed=5).metrics(fan_graph)
+        assert a == b
+
+    def test_different_seeds_differ(self, fan_graph):
+        from repro.core.priority import RandomEpochPriority
+
+        a = RandomEpochPriority(seed=5).metrics(fan_graph)
+        b = RandomEpochPriority(seed=6).metrics(fan_graph)
+        assert a != b
+
+    def test_values_in_unit_interval(self, fan_graph):
+        from repro.core.priority import RandomEpochPriority
+
+        for metric in RandomEpochPriority(seed=1).metrics(fan_graph).values():
+            assert 0.0 <= metric[0] <= 1.0

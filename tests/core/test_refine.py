@@ -1,0 +1,66 @@
+"""Tests for CDS post-pruning with the coverage condition."""
+
+import random
+
+import pytest
+
+from repro.core.priority import DegreePriority
+from repro.core.refine import prune_cds
+from repro.graph.cds import greedy_cds, is_cds, minimum_cds_bruteforce
+from repro.graph.generators import random_connected_network
+from repro.graph.topology import Topology
+
+
+class TestPruneCds:
+    def test_rejects_non_cds(self):
+        with pytest.raises(ValueError):
+            prune_cds(Topology.path(4), {0, 3})
+
+    def test_result_is_smaller_or_equal_cds(self):
+        rng = random.Random(41)
+        for _ in range(6):
+            net = random_connected_network(25, 8.0, rng)
+            # A deliberately fat CDS: every non-leaf node.
+            fat = {
+                v for v in net.topology.nodes()
+                if net.topology.degree(v) >= 2
+            }
+            if not is_cds(net.topology, fat):
+                fat = set(net.topology.nodes())
+            pruned = prune_cds(net.topology, fat)
+            assert is_cds(net.topology, pruned)
+            assert pruned <= fat
+            assert len(pruned) < len(fat)  # fat sets always shrink
+
+    def test_tightens_the_greedy_cds_or_keeps_it(self):
+        rng = random.Random(42)
+        net = random_connected_network(30, 8.0, rng)
+        base = greedy_cds(net.topology)
+        pruned = prune_cds(net.topology, base)
+        assert is_cds(net.topology, pruned)
+        assert len(pruned) <= len(base)
+
+    def test_never_below_optimal(self):
+        rng = random.Random(43)
+        net = random_connected_network(9, 4.0, rng)
+        optimal = minimum_cds_bruteforce(net.topology)
+        pruned = prune_cds(net.topology, set(net.topology.nodes()))
+        assert len(pruned) >= len(optimal)
+
+    def test_priority_scheme_respected(self):
+        rng = random.Random(44)
+        net = random_connected_network(25, 8.0, rng)
+        full = set(net.topology.nodes())
+        by_id = prune_cds(net.topology, full)
+        by_degree = prune_cds(net.topology, full, DegreePriority())
+        assert is_cds(net.topology, by_id)
+        assert is_cds(net.topology, by_degree)
+
+    def test_star_prunes_to_hub(self):
+        star = Topology.star(6)
+        pruned = prune_cds(star, set(star.nodes()))
+        assert pruned == {0}
+
+    def test_minimal_cds_unchanged(self):
+        path = Topology.path(4)
+        assert prune_cds(path, {1, 2}) == {1, 2}

@@ -1,0 +1,79 @@
+"""Tests for the disjoint-set structure."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.unionfind import DisjointSet
+
+
+class TestDisjointSet:
+    def test_singletons(self):
+        dsu = DisjointSet([1, 2, 3])
+        assert not dsu.connected(1, 2)
+        assert dsu.find(1) == 1
+
+    def test_union_connects(self):
+        dsu = DisjointSet()
+        dsu.union(1, 2)
+        dsu.union(2, 3)
+        assert dsu.connected(1, 3)
+        assert not dsu.connected(1, 4)
+
+    def test_lazy_element_creation(self):
+        dsu = DisjointSet()
+        assert 5 not in dsu
+        dsu.find(5)
+        assert 5 in dsu
+
+    def test_union_idempotent(self):
+        dsu = DisjointSet()
+        dsu.union(1, 2)
+        root = dsu.union(1, 2)
+        assert root == dsu.find(1)
+
+    def test_groups(self):
+        dsu = DisjointSet([1, 2, 3, 4])
+        dsu.union(1, 2)
+        dsu.union(3, 4)
+        groups = sorted(sorted(g) for g in dsu.groups())
+        assert groups == [[1, 2], [3, 4]]
+
+    def test_hashable_elements(self):
+        dsu = DisjointSet()
+        dsu.union("a", "b")
+        assert dsu.connected("a", "b")
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=20),
+            st.integers(min_value=0, max_value=20),
+        ),
+        max_size=50,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_matches_naive_transitive_closure(unions):
+    """DisjointSet agrees with a brute-force reachability closure."""
+    dsu = DisjointSet(range(21))
+    adjacency = {i: {i} for i in range(21)}
+    for a, b in unions:
+        dsu.union(a, b)
+    # Naive closure by repeated merging.
+    changed = True
+    groups = [{i} for i in range(21)]
+    for a, b in unions:
+        ga = next(g for g in groups if a in g)
+        gb = next(g for g in groups if b in g)
+        if ga is not gb:
+            ga |= gb
+            groups.remove(gb)
+    for group in groups:
+        members = sorted(group)
+        for x in members[1:]:
+            assert dsu.connected(members[0], x)
+    for g1 in groups:
+        for g2 in groups:
+            if g1 is not g2:
+                assert not dsu.connected(next(iter(g1)), next(iter(g2)))

@@ -1,0 +1,105 @@
+"""Tests for global/local views and the super-view construction."""
+
+import pytest
+
+from repro.core import status as st
+from repro.core.priority import DegreePriority, IdPriority
+from repro.core.views import View, global_view, local_view, super_view
+from repro.graph.topology import Topology
+
+
+@pytest.fixture
+def chain() -> Topology:
+    return Topology.path(6)  # 0-1-2-3-4-5
+
+
+class TestViewBasics:
+    def test_status_defaults(self, chain):
+        view = global_view(chain, IdPriority(), visited={2})
+        assert view.status_of(2) == st.VISITED
+        assert view.status_of(3) == st.UNVISITED
+        assert view.status_of(99) == st.INVISIBLE
+
+    def test_priority_ordering(self, chain):
+        view = global_view(chain, IdPriority(), visited={0})
+        assert view.priority(0) > view.priority(5)  # visited beats id
+        assert view.priority(5) > view.priority(4)
+        assert view.priority(99) < view.priority(0)  # invisible lowest
+
+    def test_designated_between_unvisited_and_visited(self, chain):
+        view = global_view(
+            chain, IdPriority(), visited={0}, designated={3}
+        )
+        assert view.priority(0) > view.priority(3) > view.priority(5)
+        assert view.designated() == {0, 3}
+        assert view.visited() == {0}
+
+    def test_with_status_monotonic(self, chain):
+        view = global_view(chain, IdPriority())
+        bumped = view.with_status({1: st.VISITED})
+        assert bumped.is_visited(1)
+        assert not view.is_visited(1)  # original immutable
+        with pytest.raises(ValueError):
+            bumped.with_status({1: st.UNVISITED})
+
+    def test_degree_metric_priority(self, chain):
+        view = global_view(chain, DegreePriority())
+        # Node 1 (degree 2) outranks node 5 (degree 1) despite the lower id.
+        assert view.priority(1) > view.priority(5)
+
+
+class TestLocalView:
+    def test_topology_is_k_hop_view_graph(self, chain):
+        view = local_view(chain, 0, 2, IdPriority())
+        assert set(view.graph.nodes()) == {0, 1, 2}
+
+    def test_state_restricted_to_visible(self, chain):
+        view = local_view(chain, 0, 2, IdPriority(), visited={1, 5})
+        assert view.is_visited(1)
+        assert not view.is_visited(5)  # invisible: state unknown
+        assert view.visited() == {1}
+
+    def test_metrics_from_deployment_graph(self, chain):
+        # Node 2 sits on the edge of 0's 2-hop view, where its visible
+        # degree is 1 — but it advertises its true degree 2.
+        view = local_view(chain, 0, 2, DegreePriority())
+        assert view.graph.degree(2) == 1
+        assert view.metrics[2] == (2.0,)
+
+    def test_local_priorities_never_exceed_global(self, chain):
+        full = global_view(chain, IdPriority(), visited={3})
+        local = local_view(chain, 0, 2, IdPriority(), visited={3})
+        for node in chain.nodes():
+            assert local.priority(node) <= full.priority(node)
+
+    def test_precomputed_metrics_reused(self, chain):
+        scheme = DegreePriority()
+        table = scheme.metrics(chain)
+        view = local_view(chain, 1, 1, scheme, metrics=table)
+        assert view.metrics[0] == table[0]
+
+
+class TestSuperView:
+    def test_union_of_graphs(self, chain):
+        a = local_view(chain, 0, 2, IdPriority())
+        b = local_view(chain, 5, 2, IdPriority())
+        merged = super_view([a, b])
+        assert set(merged.graph.nodes()) == {0, 1, 2, 3, 4, 5}
+        assert merged.graph.has_edge(0, 1) and merged.graph.has_edge(4, 5)
+        assert not merged.graph.has_edge(2, 3)  # invisible to both
+
+    def test_max_of_statuses(self, chain):
+        a = local_view(chain, 0, 2, IdPriority(), visited={1})
+        b = local_view(chain, 1, 2, IdPriority())
+        merged = super_view([a, b])
+        assert merged.is_visited(1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            super_view([])
+
+    def test_mixed_schemes_rejected(self, chain):
+        a = local_view(chain, 0, 1, IdPriority())
+        b = local_view(chain, 0, 1, DegreePriority())
+        with pytest.raises(ValueError):
+            super_view([a, b])

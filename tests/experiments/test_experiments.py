@@ -1,0 +1,108 @@
+"""Tests for the experiment specs, runner, and reports."""
+
+import pytest
+
+from repro.experiments.config import PAPER_NS, RunSettings
+from repro.experiments.figures import FIGURE_BUILDERS
+from repro.experiments.report import (
+    format_fig9,
+    format_table1,
+    run_fig9_sample,
+)
+from repro.experiments.runner import measure_point, run_panel
+from repro.metrics.results import format_table
+
+FAST = RunSettings(min_runs=4, max_runs=6, relative_half_width=0.5, seed=1)
+
+
+class TestSpecs:
+    def test_paper_ns(self):
+        assert PAPER_NS == (20, 30, 40, 50, 60, 70, 80, 90, 100)
+
+    def test_every_figure_builds(self):
+        for name, builder in FIGURE_BUILDERS.items():
+            figure = builder()
+            assert figure.figure_id == name
+            assert figure.panels
+            for panel in figure.panels:
+                assert panel.series
+                assert panel.ns == PAPER_NS
+
+    def test_reduced_sweep(self):
+        figure = FIGURE_BUILDERS["fig10"](ns=[20, 40])
+        for panel in figure.panels:
+            assert panel.ns == (20, 40)
+
+    def test_fig10_has_four_timings(self):
+        figure = FIGURE_BUILDERS["fig10"]()
+        labels = [s.label for s in figure.panels[0].series]
+        assert labels == ["Static", "FR", "FRB", "FRBD"]
+
+    def test_fig12_series_radii(self):
+        figure = FIGURE_BUILDERS["fig12"]()
+        labels = [s.label for s in figure.panels[0].series]
+        assert labels == ["2-hop", "3-hop", "4-hop", "5-hop", "global"]
+
+    def test_fig14_panels_cover_hops_and_degrees(self):
+        figure = FIGURE_BUILDERS["fig14"]()
+        titles = [p.title for p in figure.panels]
+        assert len(titles) == 4
+        assert any("2-hop" in t and "d=6" in t for t in titles)
+        assert any("3-hop" in t and "d=18" in t for t in titles)
+
+
+class TestRunner:
+    def test_measure_point_returns_statistics(self):
+        figure = FIGURE_BUILDERS["fig10"](ns=[20])
+        spec = figure.panels[0].series[1]  # FR
+        point = measure_point(spec, 20, 6.0, FAST)
+        assert point.x == 20
+        assert 1 <= point.mean <= 20
+        assert point.samples >= FAST.min_runs
+
+    def test_run_panel_produces_full_table(self):
+        figure = FIGURE_BUILDERS["fig16"](ns=[15, 20], degrees=[6.0])
+        panel = figure.panels[0]
+        table = run_panel(panel, FAST)
+        assert [s.label for s in table.series] == ["SBA", "Generic"]
+        assert table.xs() == [15, 20]
+
+    def test_progress_callback_invoked(self):
+        figure = FIGURE_BUILDERS["fig16"](ns=[15], degrees=[6.0])
+        messages = []
+        run_panel(figure.panels[0], FAST, progress=messages.append)
+        assert len(messages) == 2  # two series x one n
+
+    def test_seed_reproducibility(self):
+        figure = FIGURE_BUILDERS["fig16"](ns=[15], degrees=[6.0])
+        a = run_panel(figure.panels[0], FAST)
+        b = run_panel(figure.panels[0], FAST)
+        assert a.get_series("SBA").means() == b.get_series("SBA").means()
+
+
+class TestReports:
+    def test_table1_text(self):
+        text = format_table1()
+        assert "Table 1" in text
+        assert "static" in text
+        assert "mpr" in text
+
+    def test_fig9_sample(self):
+        result = run_fig9_sample(n=40, degree=6.0, seed=2)
+        counts = result.counts()
+        assert len(counts) == 6  # {2,3}-hop x {static, FR, FRB}
+        for (hops, label), count in counts.items():
+            assert 1 <= count <= 40
+        # More information should not hurt: 3-hop <= 2-hop per timing is
+        # the expected trend; assert it for the static series where the
+        # comparison is deterministic.
+        assert counts[(3, "static")] <= counts[(2, "static")]
+        text = format_fig9(result)
+        assert "2-hop information" in text
+        assert "3-hop information" in text
+
+    def test_fig9_svg_render(self):
+        result = run_fig9_sample(n=30, degree=6.0, seed=3)
+        svg = result.svg(2, "FR")
+        assert svg.startswith("<svg")
+        assert "circle" in svg

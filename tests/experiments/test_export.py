@@ -1,0 +1,74 @@
+"""Tests for CSV/JSON result export and the CLI format flag."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.experiments.__main__ import main
+from repro.experiments.export import table_to_csv, table_to_json, tables_to_json
+from repro.metrics.results import DataPoint, ResultTable, Series
+
+
+def _table() -> ResultTable:
+    table = ResultTable(title="panel", x_label="n", y_label="forward nodes")
+    a = Series(label="A")
+    a.add(DataPoint(x=20, mean=10.5, half_width=0.5, samples=25))
+    a.add(DataPoint(x=40, mean=19.25, half_width=0.75, samples=25))
+    b = Series(label="B")
+    b.add(DataPoint(x=20, mean=9.0))
+    table.add_series(a)
+    table.add_series(b)
+    return table
+
+
+class TestCsv:
+    def test_round_trips_through_csv_reader(self):
+        rows = list(csv.reader(io.StringIO(table_to_csv(_table()))))
+        assert rows[0] == ["n", "A", "B"]
+        assert rows[1] == ["20", "10.5000", "9.0000"]
+        assert rows[2] == ["40", "19.2500", ""]
+
+    def test_empty_cells_for_missing_points(self):
+        text = table_to_csv(_table())
+        assert text.strip().endswith(",")
+
+
+class TestJson:
+    def test_single_table(self):
+        payload = json.loads(table_to_json(_table()))
+        assert payload["title"] == "panel"
+        assert payload["series"][0]["label"] == "A"
+        point = payload["series"][0]["points"][0]
+        assert point == {
+            "x": 20, "mean": 10.5, "half_width": 0.5, "samples": 25
+        }
+
+    def test_multiple_tables(self):
+        payload = json.loads(tables_to_json([_table(), _table()]))
+        assert len(payload) == 2
+
+
+class TestCliFormats:
+    def test_csv_output(self, capsys):
+        code = main(
+            [
+                "fig16", "--quick", "--ns", "15",
+                "--min-runs", "3", "--max-runs", "4", "--format", "csv",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "n,SBA,Generic" in out
+
+    def test_json_output(self, capsys):
+        code = main(
+            [
+                "fig16", "--quick", "--ns", "15",
+                "--min-runs", "3", "--max-runs", "4", "--format", "json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["series"][0]["label"] == "SBA"

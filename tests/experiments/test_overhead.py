@@ -1,0 +1,58 @@
+"""Tests for the control-overhead cost model."""
+
+import pytest
+
+from repro.experiments.overhead import (
+    OverheadPoint,
+    crossover_broadcasts,
+    measure_overhead,
+    total_cost,
+)
+
+
+def _point(hops, scheme, rounds, forwards, n=60):
+    return OverheadPoint(
+        hops=hops, scheme_name=scheme, hello_rounds=rounds,
+        mean_forwards=forwards, n=n,
+    )
+
+
+class TestTotalCost:
+    def test_hello_plus_broadcast_terms(self):
+        point = _point(2, "id", 2, 25.0)
+        assert point.total_cost(0) == 120  # 60 nodes x 2 rounds
+        assert point.total_cost(10) == 120 + 250
+        assert total_cost(point, 10) == point.total_cost(10)
+
+
+class TestCrossover:
+    def test_richer_view_pays_off_eventually(self):
+        cheap = _point(2, "id", 2, 26.0)
+        rich = _point(3, "ncr", 5, 24.0)
+        rate = crossover_broadcasts(cheap, rich)
+        # 60 * 3 extra hello messages amortised by 2 saved forwards.
+        assert rate == pytest.approx(90.0)
+        assert cheap.total_cost(rate) == pytest.approx(rich.total_cost(rate))
+        assert cheap.total_cost(rate * 2) > rich.total_cost(rate * 2)
+
+    def test_no_crossover_without_savings(self):
+        cheap = _point(2, "id", 2, 24.0)
+        rich = _point(5, "ncr", 7, 24.5)
+        assert crossover_broadcasts(cheap, rich) is None
+
+    def test_free_upgrade(self):
+        cheap = _point(2, "id", 2, 26.0)
+        rich = _point(2, "id", 2, 24.0)
+        assert crossover_broadcasts(cheap, rich) == 0.0
+
+
+class TestMeasurement:
+    def test_measured_points_are_consistent(self):
+        cheap = measure_overhead(2, "id", trials=6)
+        rich = measure_overhead(3, "ncr", trials=6)
+        assert cheap.hello_rounds == 2
+        assert rich.hello_rounds == 5  # 3 topology + 2 for NCR
+        # Richer information prunes at least as well on aggregate.
+        assert rich.mean_forwards <= cheap.mean_forwards * 1.05
+        # At zero broadcasts the cheap configuration wins outright.
+        assert cheap.total_cost(0) < rich.total_cost(0)

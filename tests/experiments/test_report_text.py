@@ -1,0 +1,31 @@
+"""Tests for the text report path (run_and_format_figure)."""
+
+from repro.experiments.config import RunSettings
+from repro.experiments.figures import fig16_backoff
+from repro.experiments.report import run_and_format_figure
+
+FAST = RunSettings(min_runs=3, max_runs=4, relative_half_width=0.5, seed=2)
+
+
+class TestRunAndFormatFigure:
+    def test_tables_and_charts_rendered(self):
+        figure = fig16_backoff(ns=[15], degrees=[6.0])
+        text = run_and_format_figure(figure, FAST, charts=True)
+        assert "fig16" in text
+        assert "SBA" in text and "Generic" in text
+        assert "+---" in text or "+-" in text  # the ascii chart frame
+
+    def test_charts_can_be_disabled(self):
+        figure = fig16_backoff(ns=[15], degrees=[6.0])
+        text = run_and_format_figure(figure, FAST, charts=False)
+        assert "SBA" in text
+        assert "+--" not in text
+
+    def test_progress_callback_plumbed(self):
+        figure = fig16_backoff(ns=[15], degrees=[6.0])
+        messages = []
+        run_and_format_figure(
+            figure, FAST, charts=False, progress=messages.append
+        )
+        assert messages
+        assert any("SBA" in m for m in messages)

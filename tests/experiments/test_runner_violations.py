@@ -1,0 +1,24 @@
+"""The runner's coverage check: broken protocols must be caught loudly."""
+
+import pytest
+
+from repro.experiments.config import RunSettings, SeriesSpec
+from repro.experiments.runner import CoverageViolation, measure_point
+from repro.algorithms.gossip import Gossip
+
+
+class TestCoverageViolationDetection:
+    def test_gossip_trips_the_coverage_check(self):
+        """A protocol without a coverage guarantee fails fast and loudly."""
+        spec = SeriesSpec("unreliable", lambda: Gossip(p=0.2))
+        settings = RunSettings(min_runs=5, max_runs=8, seed=3)
+        with pytest.raises(CoverageViolation):
+            measure_point(spec, 40, 6.0, settings)
+
+    def test_check_can_be_disabled_for_reliability_studies(self):
+        spec = SeriesSpec("unreliable", lambda: Gossip(p=0.2))
+        settings = RunSettings(
+            min_runs=5, max_runs=8, seed=3, check_coverage=False
+        )
+        point = measure_point(spec, 40, 6.0, settings)
+        assert point.samples >= 5

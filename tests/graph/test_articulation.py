@@ -1,0 +1,99 @@
+"""Tests for articulation points and bridges (with networkx oracles)."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.registry import create, names
+from repro.graph.generators import random_connected_network
+from repro.graph.topology import Topology
+from repro.sim.engine import run_broadcast
+
+
+class TestArticulationPoints:
+    def test_path_interior_nodes(self):
+        assert Topology.path(5).articulation_points() == {1, 2, 3}
+
+    def test_cycle_has_none(self):
+        assert Topology.cycle(6).articulation_points() == set()
+
+    def test_star_hub(self):
+        assert Topology.star(5).articulation_points() == {0}
+
+    def test_complete_graph_has_none(self):
+        assert Topology.complete(5).articulation_points() == set()
+
+    def test_barbell_bridge_endpoints(self):
+        graph = Topology(edges=[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)])
+        assert graph.articulation_points() == {2, 3}
+
+    def test_disconnected_components_handled(self):
+        graph = Topology(edges=[(0, 1), (1, 2), (5, 6), (6, 7)])
+        assert graph.articulation_points() == {1, 6}
+
+
+class TestBridges:
+    def test_path_all_edges_are_bridges(self):
+        assert Topology.path(4).bridges() == {(0, 1), (1, 2), (2, 3)}
+
+    def test_cycle_has_none(self):
+        assert Topology.cycle(5).bridges() == set()
+
+    def test_mixed(self):
+        graph = Topology(edges=[(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert graph.bridges() == {(2, 3)}
+
+
+@st.composite
+def random_graph_pairs(draw):
+    n = draw(st.integers(min_value=2, max_value=14))
+    seed = draw(st.integers(min_value=0, max_value=2 ** 32 - 1))
+    rng = random.Random(seed)
+    graph = Topology(nodes=range(n))
+    mirror = nx.Graph()
+    mirror.add_nodes_from(range(n))
+    for _ in range(draw(st.integers(min_value=0, max_value=3 * n))):
+        a, b = rng.sample(range(n), 2)
+        graph.add_edge(a, b)
+        mirror.add_edge(a, b)
+    return graph, mirror
+
+
+@given(random_graph_pairs())
+@settings(max_examples=80, deadline=None)
+def test_articulation_points_match_networkx(pair):
+    graph, mirror = pair
+    assert graph.articulation_points() == set(
+        nx.articulation_points(mirror)
+    )
+
+
+@given(random_graph_pairs())
+@settings(max_examples=50, deadline=None)
+def test_bridges_match_networkx(pair):
+    graph, mirror = pair
+    expected = {(min(u, v), max(u, v)) for u, v in nx.bridges(mirror)}
+    assert graph.bridges() == expected
+
+
+@pytest.mark.parametrize("protocol_name", names())
+def test_articulation_points_always_forward(protocol_name):
+    """No protocol can ever prune a cut vertex (they carry all traffic)."""
+    rng = random.Random(67)
+    net = random_connected_network(30, 5.0, rng)
+    cuts = net.topology.articulation_points()
+    if not cuts:
+        pytest.skip("sampled network is biconnected")
+    source = rng.choice(net.topology.nodes())
+    outcome = run_broadcast(
+        net.topology, create(protocol_name), source=source,
+        rng=random.Random(1),
+    )
+    assert outcome.delivered == set(net.topology.nodes())
+    # Every articulation point with nodes "behind" it must have forwarded
+    # (except when it is itself a leaf of the block structure containing
+    # the whole rest — impossible for a cut vertex).
+    assert cuts <= outcome.forward_nodes

@@ -1,0 +1,73 @@
+"""Tests for the bidirectional abstraction over unidirectional links."""
+
+import pytest
+
+from repro.graph.bidirectional import (
+    DirectedLinks,
+    bidirectional_abstraction,
+    links_from_ranges,
+)
+from repro.graph.geometry import Point
+
+
+class TestDirectedLinks:
+    def test_links_are_directional(self):
+        links = DirectedLinks(links=[(1, 2)])
+        assert links.has_link(1, 2)
+        assert not links.has_link(2, 1)
+
+    def test_self_link_rejected(self):
+        with pytest.raises(ValueError):
+            DirectedLinks(links=[(1, 1)])
+
+    def test_out_neighbors(self):
+        links = DirectedLinks(links=[(1, 2), (1, 3)])
+        assert links.out_neighbors(1) == {2, 3}
+        assert links.out_neighbors(2) == set()
+        with pytest.raises(KeyError):
+            links.out_neighbors(9)
+
+
+class TestAbstraction:
+    def test_keeps_only_symmetric_pairs(self):
+        links = DirectedLinks(
+            links=[(1, 2), (2, 1), (2, 3), (3, 1), (1, 3)]
+        )
+        graph = bidirectional_abstraction(links)
+        assert graph.has_edge(1, 2)
+        assert graph.has_edge(1, 3)
+        assert not graph.has_edge(2, 3)  # only 2 -> 3 exists
+
+    def test_all_nodes_preserved(self):
+        links = DirectedLinks(nodes=[1, 2, 3], links=[(1, 2)])
+        graph = bidirectional_abstraction(links)
+        assert set(graph.nodes()) == {1, 2, 3}
+        assert graph.edge_count() == 0
+
+
+class TestLinksFromRanges:
+    def test_heterogeneous_ranges_create_asymmetry(self):
+        positions = {0: Point(0, 0), 1: Point(5, 0)}
+        ranges = {0: 10.0, 1: 2.0}
+        links = links_from_ranges(positions, ranges)
+        assert links.has_link(0, 1)  # the strong sender reaches out
+        assert not links.has_link(1, 0)  # the weak one cannot answer
+        graph = bidirectional_abstraction(links)
+        assert graph.edge_count() == 0
+
+    def test_equal_ranges_are_symmetric(self):
+        positions = {0: Point(0, 0), 1: Point(3, 0), 2: Point(9, 0)}
+        ranges = {node: 4.0 for node in positions}
+        graph = bidirectional_abstraction(
+            links_from_ranges(positions, ranges)
+        )
+        assert graph.has_edge(0, 1)
+        assert not graph.has_edge(1, 2)
+
+    def test_mismatched_node_sets_rejected(self):
+        with pytest.raises(ValueError):
+            links_from_ranges({0: Point(0, 0)}, {1: 1.0})
+
+    def test_negative_range_rejected(self):
+        with pytest.raises(ValueError):
+            links_from_ranges({0: Point(0, 0), 1: Point(1, 0)}, {0: -1.0, 1: 1.0})

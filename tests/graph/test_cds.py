@@ -1,0 +1,158 @@
+"""Tests for the CDS toolkit: verification, greedy cover, greedy CDS."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.cds import (
+    greedy_cds,
+    greedy_set_cover,
+    is_cds,
+    is_dominating_set,
+    minimum_cds_bruteforce,
+)
+from repro.graph.generators import random_connected_network
+from repro.graph.topology import Topology
+
+
+class TestDominatingSet:
+    def test_whole_node_set_dominates(self, small_graph):
+        assert is_dominating_set(small_graph, small_graph.nodes())
+
+    def test_hub_dominates_star(self):
+        star = Topology.star(6)
+        assert is_dominating_set(star, {0})
+        assert not is_dominating_set(star, {1})
+
+    def test_unknown_member_raises(self, small_graph):
+        with pytest.raises(KeyError):
+            is_dominating_set(small_graph, {99})
+
+    def test_matches_networkx_oracle(self):
+        rng = random.Random(3)
+        net = random_connected_network(25, 6.0, rng)
+        mirror = nx.Graph(net.topology.edges())
+        for _ in range(20):
+            candidate = set(rng.sample(net.topology.nodes(), 8))
+            assert is_dominating_set(net.topology, candidate) == (
+                nx.is_dominating_set(mirror, candidate)
+            )
+
+
+class TestIsCds:
+    def test_path_interior(self):
+        path = Topology.path(4)
+        assert is_cds(path, {1, 2})
+        assert not is_cds(path, {0, 3})  # dominates but disconnected
+        assert not is_cds(path, {1})  # connected but not dominating
+
+    def test_complete_graph_empty_cds(self):
+        assert is_cds(Topology.complete(4), set())
+        assert not is_cds(Topology.path(3), set())
+
+    def test_single_hub(self):
+        assert is_cds(Topology.star(5), {0})
+
+
+class TestGreedySetCover:
+    def test_covers_universe(self):
+        universe = {1, 2, 3, 4, 5}
+        candidates = {
+            10: {1, 2},
+            11: {3, 4},
+            12: {5},
+            13: {1, 2, 3},
+        }
+        chosen = greedy_set_cover(universe, candidates)
+        covered = set()
+        for c in chosen:
+            covered |= candidates[c]
+        assert universe <= covered
+
+    def test_picks_largest_first(self):
+        chosen = greedy_set_cover(
+            {1, 2, 3}, {10: {1}, 11: {1, 2, 3}}
+        )
+        assert chosen == [11]
+
+    def test_tie_breaks_by_smallest_id(self):
+        chosen = greedy_set_cover({1, 2}, {20: {1, 2}, 10: {1, 2}})
+        assert chosen == [10]
+
+    def test_custom_tie_break_order(self):
+        chosen = greedy_set_cover(
+            {1, 2}, {20: {1, 2}, 10: {1, 2}}, tie_break=[20, 10]
+        )
+        assert chosen == [20]
+
+    def test_uncoverable_raises(self):
+        with pytest.raises(ValueError):
+            greedy_set_cover({1, 2}, {10: {1}})
+
+    def test_empty_universe_no_selection(self):
+        assert greedy_set_cover(set(), {10: {1}}) == []
+
+
+class TestGreedyCds:
+    def test_small_cases(self):
+        assert greedy_cds(Topology(nodes=[7])) == {7}
+        assert greedy_cds(Topology.complete(4)) == set()
+        assert greedy_cds(Topology.star(8)) == {0}
+
+    def test_path_graph(self):
+        cds = greedy_cds(Topology.path(5))
+        assert is_cds(Topology.path(5), cds)
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(ValueError):
+            greedy_cds(Topology(nodes=[1, 2]))
+
+    def test_random_networks_yield_valid_cds(self):
+        rng = random.Random(17)
+        for n, d in [(20, 6.0), (40, 6.0), (30, 12.0)]:
+            net = random_connected_network(n, d, rng)
+            cds = greedy_cds(net.topology)
+            assert is_cds(net.topology, cds)
+
+    def test_reasonably_small_on_star_of_cliques(self):
+        # Hub 0 joined to cliques; the greedy CDS should stay near the hub
+        # count, far below n.
+        graph = Topology()
+        next_id = 1
+        for _ in range(4):
+            clique = list(range(next_id, next_id + 4))
+            next_id += 4
+            for i, u in enumerate(clique):
+                graph.add_edge(0, u)
+                for v in clique[i + 1:]:
+                    graph.add_edge(u, v)
+        cds = greedy_cds(graph)
+        assert is_cds(graph, cds)
+        assert len(cds) <= 3
+
+
+class TestBruteForce:
+    def test_minimum_on_path(self):
+        result = minimum_cds_bruteforce(Topology.path(4))
+        assert result == frozenset({1, 2})
+
+    def test_minimum_on_star(self):
+        assert minimum_cds_bruteforce(Topology.star(6)) == frozenset({0})
+
+    def test_complete_graph(self):
+        assert minimum_cds_bruteforce(Topology.complete(3)) == frozenset()
+
+    def test_size_cap(self):
+        path = Topology.path(6)  # needs 4 interior nodes
+        assert minimum_cds_bruteforce(path, max_size=2) is None
+
+    def test_greedy_never_beats_optimal(self):
+        rng = random.Random(23)
+        for _ in range(5):
+            net = random_connected_network(9, 4.0, rng)
+            optimal = minimum_cds_bruteforce(net.topology)
+            assert optimal is not None
+            assert len(greedy_cds(net.topology)) >= len(optimal)

@@ -1,0 +1,68 @@
+"""Tests for lowest-ID clustering and the cluster backbone."""
+
+import random
+
+import pytest
+
+from repro.graph.clustering import cluster_backbone, lowest_id_clustering
+from repro.graph.generators import random_connected_network
+from repro.graph.topology import Topology
+
+
+class TestLowestIdClustering:
+    def test_heads_form_independent_set(self):
+        rng = random.Random(3)
+        net = random_connected_network(40, 10.0, rng)
+        clustering = lowest_id_clustering(net.topology)
+        for head in clustering.heads:
+            assert not (net.topology.neighbors(head) & clustering.heads)
+
+    def test_every_node_assigned_to_adjacent_head(self):
+        rng = random.Random(4)
+        net = random_connected_network(40, 10.0, rng)
+        clustering = lowest_id_clustering(net.topology)
+        for node, head in clustering.membership.items():
+            if node == head:
+                assert node in clustering.heads
+            else:
+                assert head in net.topology.neighbors(node)
+                assert head in clustering.heads
+
+    def test_star_collapses_to_hub(self):
+        clustering = lowest_id_clustering(Topology.star(6))
+        assert clustering.heads == {0}
+        assert clustering.gateways == set()
+
+    def test_members_of(self):
+        clustering = lowest_id_clustering(Topology.star(4))
+        assert clustering.members_of(0) == {0, 1, 2, 3}
+        with pytest.raises(KeyError):
+            clustering.members_of(1)
+
+    def test_path_clusters(self):
+        clustering = lowest_id_clustering(Topology.path(5))
+        # Node 0 heads {0, 1}; node 2 heads {2, 3}; node 4 heads itself.
+        assert clustering.heads == {0, 2, 4}
+        assert clustering.membership[1] == 0
+        assert clustering.membership[3] == 2
+
+    def test_gateways_touch_two_clusters(self):
+        clustering = lowest_id_clustering(Topology.path(5))
+        assert 1 in clustering.gateways
+        assert 3 in clustering.gateways
+
+
+class TestBackbone:
+    def test_backbone_is_sparser(self):
+        rng = random.Random(5)
+        net = random_connected_network(50, 18.0, rng)
+        clustering = lowest_id_clustering(net.topology)
+        backbone = cluster_backbone(net.topology, clustering)
+        assert backbone.node_count() <= net.topology.node_count()
+        assert backbone.average_degree() <= net.topology.average_degree()
+
+    def test_backbone_nodes_are_heads_and_gateways(self):
+        graph = Topology.path(5)
+        clustering = lowest_id_clustering(graph)
+        backbone = cluster_backbone(graph, clustering)
+        assert set(backbone.nodes()) == clustering.heads | clustering.gateways

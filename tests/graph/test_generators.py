@@ -1,0 +1,68 @@
+"""Tests for the network generators."""
+
+import random
+
+import pytest
+
+from repro.graph.generators import (
+    GenerationError,
+    grid_network,
+    random_connected_network,
+    random_network,
+)
+from repro.graph.geometry import Area
+
+
+class TestRandomNetwork:
+    def test_link_count_matches_degree(self):
+        rng = random.Random(5)
+        net = random_network(40, 6.0, rng)
+        assert net.link_count == 120
+        assert net.node_count == 40
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            random_network(1, 6.0, random.Random(0))
+
+    def test_custom_area(self):
+        rng = random.Random(5)
+        net = random_network(10, 4.0, rng, area=Area(10, 10))
+        for position in net.positions.values():
+            assert 0 <= position.x <= 10
+            assert 0 <= position.y <= 10
+
+    def test_reproducible(self):
+        a = random_network(20, 6.0, random.Random(9))
+        b = random_network(20, 6.0, random.Random(9))
+        assert a.topology == b.topology
+
+
+class TestRandomConnectedNetwork:
+    def test_connected_and_calibrated(self):
+        rng = random.Random(7)
+        net = random_connected_network(50, 6.0, rng)
+        assert net.topology.is_connected()
+        assert net.link_count == 150
+
+    def test_dense_connects_quickly(self):
+        rng = random.Random(7)
+        net = random_connected_network(30, 18.0, rng)
+        assert net.topology.is_connected()
+        assert net.average_degree() == pytest.approx(18.0)
+
+    def test_impossible_configuration_raises(self):
+        rng = random.Random(7)
+        # Average degree 1 => n/2 links can never connect n nodes.
+        with pytest.raises(GenerationError):
+            random_connected_network(20, 1.0, rng, max_attempts=50)
+
+
+class TestGridNetwork:
+    def test_grid_connectivity(self):
+        net = grid_network(4, 5)
+        assert net.node_count == 20
+        assert net.topology.is_connected()
+
+    def test_grid_diagonals_connected_at_default_radius(self):
+        net = grid_network(2, 2)
+        assert net.link_count == 6  # all pairs within 1.5 in a unit square

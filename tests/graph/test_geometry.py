@@ -1,0 +1,128 @@
+"""Unit tests for the planar geometry primitives."""
+
+import math
+import random
+
+import pytest
+
+from repro.graph.geometry import (
+    Area,
+    Point,
+    bounding_box,
+    distance,
+    distance_squared,
+    grid_points,
+    random_points,
+)
+
+
+class TestPoint:
+    def test_distance_along_axis(self):
+        assert Point(0, 0).distance_to(Point(3, 0)) == 3.0
+
+    def test_distance_pythagorean(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(1.5, -2.0), Point(-4.0, 7.25)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(2.5, 3.5)
+        assert p.distance_to(p) == 0.0
+
+    def test_distance_squared_consistent_with_distance(self):
+        a, b = Point(1, 2), Point(4, 6)
+        assert a.distance_squared_to(b) == pytest.approx(
+            a.distance_to(b) ** 2
+        )
+
+    def test_module_level_helpers(self):
+        a, b = Point(0, 0), Point(1, 1)
+        assert distance(a, b) == pytest.approx(math.sqrt(2))
+        assert distance_squared(a, b) == pytest.approx(2.0)
+
+    def test_translated(self):
+        assert Point(1, 1).translated(2, -3) == Point(3, -2)
+
+    def test_as_tuple(self):
+        assert Point(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+    def test_points_are_hashable_values(self):
+        assert Point(1, 2) == Point(1, 2)
+        assert len({Point(1, 2), Point(1, 2), Point(2, 1)}) == 2
+
+
+class TestArea:
+    def test_default_is_paper_area(self):
+        area = Area()
+        assert (area.width, area.height) == (100.0, 100.0)
+
+    def test_rejects_non_positive_dimensions(self):
+        with pytest.raises(ValueError):
+            Area(0, 100)
+        with pytest.raises(ValueError):
+            Area(100, -1)
+
+    def test_contains_boundary_inclusive(self):
+        area = Area(10, 10)
+        assert area.contains(Point(0, 0))
+        assert area.contains(Point(10, 10))
+        assert not area.contains(Point(10.01, 5))
+
+    def test_clamp_pulls_outside_points_to_boundary(self):
+        area = Area(10, 10)
+        assert area.clamp(Point(-5, 5)) == Point(0, 5)
+        assert area.clamp(Point(12, 15)) == Point(10, 10)
+        assert area.clamp(Point(3, 4)) == Point(3, 4)
+
+    def test_diagonal(self):
+        assert Area(3, 4).diagonal == 5.0
+
+    def test_random_point_stays_inside(self):
+        area = Area(5, 7)
+        rng = random.Random(1)
+        for _ in range(100):
+            assert area.contains(area.random_point(rng))
+
+
+class TestGenerators:
+    def test_random_points_count_and_ids(self):
+        points = random_points(10, Area(), random.Random(2))
+        assert sorted(points) == list(range(10))
+
+    def test_random_points_zero(self):
+        assert random_points(0, Area(), random.Random(2)) == {}
+
+    def test_random_points_negative_rejected(self):
+        with pytest.raises(ValueError):
+            random_points(-1, Area(), random.Random(2))
+
+    def test_random_points_reproducible(self):
+        a = random_points(5, Area(), random.Random(3))
+        b = random_points(5, Area(), random.Random(3))
+        assert a == b
+
+    def test_grid_points_row_major(self):
+        points = grid_points(2, 3, spacing=2.0)
+        assert points[0] == Point(0, 0)
+        assert points[2] == Point(4, 0)
+        assert points[3] == Point(0, 2)
+        assert len(points) == 6
+
+    def test_grid_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            grid_points(0, 3)
+        with pytest.raises(ValueError):
+            grid_points(2, 2, spacing=0)
+
+
+class TestBoundingBox:
+    def test_bounding_box(self):
+        low, high = bounding_box([Point(1, 5), Point(-2, 3), Point(0, 9)])
+        assert low == Point(-2, 3)
+        assert high == Point(1, 9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bounding_box([])

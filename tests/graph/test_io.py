@@ -1,0 +1,72 @@
+"""Tests for deployment serialisation and networkx interop."""
+
+import json
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graph.generators import random_connected_network
+from repro.graph.io import (
+    from_networkx,
+    network_from_json,
+    network_to_json,
+    to_networkx,
+    topology_from_dict,
+    topology_to_dict,
+)
+from repro.graph.topology import Topology
+
+
+class TestTopologyDict:
+    def test_round_trip(self, small_graph):
+        payload = topology_to_dict(small_graph)
+        assert topology_from_dict(payload) == small_graph
+
+    def test_survives_json(self, small_graph):
+        text = json.dumps(topology_to_dict(small_graph))
+        assert topology_from_dict(json.loads(text)) == small_graph
+
+    def test_isolated_nodes_preserved(self):
+        graph = Topology(nodes=[1, 2, 3], edges=[(1, 2)])
+        restored = topology_from_dict(topology_to_dict(graph))
+        assert restored == graph
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(ValueError):
+            topology_from_dict({"nodes": [1]})
+
+
+class TestNetworkJson:
+    def test_round_trip_is_exact(self):
+        rng = random.Random(9)
+        net = random_connected_network(25, 6.0, rng)
+        restored = network_from_json(network_to_json(net))
+        assert restored.topology == net.topology
+        assert restored.radius == net.radius
+        assert restored.positions == net.positions
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ValueError):
+            network_from_json('{"radius": 1.0}')
+
+
+class TestNetworkxBridge:
+    def test_to_networkx(self, small_graph):
+        mirror = to_networkx(small_graph)
+        assert set(mirror.nodes()) == set(small_graph.nodes())
+        assert mirror.number_of_edges() == small_graph.edge_count()
+
+    def test_from_networkx(self):
+        mirror = nx.cycle_graph(5)
+        graph = from_networkx(mirror)
+        assert graph == Topology.cycle(5)
+
+    def test_round_trip(self, small_graph):
+        assert from_networkx(to_networkx(small_graph)) == small_graph
+
+    def test_non_integer_labels_rejected(self):
+        mirror = nx.Graph()
+        mirror.add_edge("a", "b")
+        with pytest.raises(ValueError):
+            from_networkx(mirror)

@@ -1,0 +1,280 @@
+"""Unit tests for the Topology graph substrate."""
+
+import pytest
+
+from repro.graph.topology import Topology
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        graph = Topology()
+        assert len(graph) == 0
+        assert graph.edges() == []
+        assert graph.is_connected()  # by convention
+
+    def test_add_edge_creates_endpoints(self):
+        graph = Topology()
+        graph.add_edge(1, 2)
+        assert 1 in graph and 2 in graph
+        assert graph.has_edge(2, 1)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(edges=[(1, 1)])
+
+    def test_duplicate_edges_collapse(self):
+        graph = Topology(edges=[(1, 2), (2, 1), (1, 2)])
+        assert graph.edge_count() == 1
+
+    def test_remove_edge(self):
+        graph = Topology(edges=[(1, 2), (2, 3)])
+        graph.remove_edge(1, 2)
+        assert not graph.has_edge(1, 2)
+        assert graph.has_edge(2, 3)
+
+    def test_remove_missing_edge_raises(self):
+        graph = Topology(edges=[(1, 2)])
+        with pytest.raises(KeyError):
+            graph.remove_edge(1, 3)
+
+    def test_remove_node_clears_incident_edges(self):
+        graph = Topology(edges=[(1, 2), (2, 3), (1, 3)])
+        graph.remove_node(2)
+        assert 2 not in graph
+        assert graph.edges() == [(1, 3)]
+
+    def test_remove_missing_node_raises(self):
+        with pytest.raises(KeyError):
+            Topology().remove_node(9)
+
+    def test_copy_is_independent(self):
+        graph = Topology(edges=[(1, 2)])
+        clone = graph.copy()
+        clone.add_edge(2, 3)
+        assert not graph.has_edge(2, 3)
+        assert clone.has_edge(2, 3)
+
+    def test_equality(self):
+        assert Topology(edges=[(1, 2)]) == Topology(edges=[(2, 1)])
+        assert Topology(edges=[(1, 2)]) != Topology(edges=[(1, 3)])
+
+
+class TestQueries:
+    def test_neighbors_and_degree(self, small_graph):
+        assert small_graph.neighbors(1) == frozenset({0, 2, 4})
+        assert small_graph.degree(1) == 3
+
+    def test_closed_neighbors(self, small_graph):
+        assert small_graph.closed_neighbors(7) == frozenset({6, 7})
+
+    def test_unknown_node_raises(self, small_graph):
+        with pytest.raises(KeyError):
+            small_graph.neighbors(99)
+        with pytest.raises(KeyError):
+            small_graph.degree(99)
+
+    def test_average_degree(self):
+        graph = Topology.path(4)  # 3 edges, 4 nodes
+        assert graph.average_degree() == pytest.approx(1.5)
+        assert Topology().average_degree() == 0.0
+
+    def test_max_degree(self, small_graph):
+        assert small_graph.max_degree() == 3  # nodes 1, 2, 4
+        assert Topology().max_degree() == 0
+
+    def test_is_complete(self):
+        assert Topology.complete(4).is_complete()
+        assert not Topology.path(3).is_complete()
+        assert Topology(nodes=[1]).is_complete()
+
+    def test_edges_reported_once(self, small_graph):
+        edges = small_graph.edges()
+        assert len(edges) == len(set(edges)) == 9
+        assert all(u < v for u, v in edges)
+
+
+class TestTraversals:
+    def test_bfs_distances_on_path(self):
+        graph = Topology.path(5)
+        assert graph.bfs_distances(0) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_bfs_truncation(self):
+        graph = Topology.path(5)
+        assert graph.bfs_distances(0, max_hops=2) == {0: 0, 1: 1, 2: 2}
+
+    def test_bfs_unknown_source(self):
+        with pytest.raises(KeyError):
+            Topology().bfs_distances(0)
+
+    def test_shortest_path_endpoints(self):
+        graph = Topology.cycle(6)
+        path = graph.shortest_path(0, 3)
+        assert path is not None
+        assert path[0] == 0 and path[-1] == 3
+        assert len(path) == 4  # 3 hops either way around the cycle
+
+    def test_shortest_path_to_self(self):
+        graph = Topology.path(3)
+        assert graph.shortest_path(1, 1) == [1]
+
+    def test_shortest_path_disconnected_is_none(self):
+        graph = Topology(nodes=[1, 2])
+        assert graph.shortest_path(1, 2) is None
+
+    def test_eccentricity_and_diameter(self):
+        graph = Topology.path(5)
+        assert graph.eccentricity(0) == 4
+        assert graph.eccentricity(2) == 2
+        assert graph.diameter() == 4
+
+    def test_diameter_requires_connectivity(self):
+        graph = Topology(nodes=[1, 2])
+        with pytest.raises(ValueError):
+            graph.diameter()
+
+    def test_connected_components(self):
+        graph = Topology(edges=[(1, 2), (3, 4)])
+        graph.add_node(5)
+        components = sorted(
+            sorted(c) for c in graph.connected_components()
+        )
+        assert components == [[1, 2], [3, 4], [5]]
+
+    def test_is_connected_subset(self, small_graph):
+        assert small_graph.is_connected_subset({0, 1, 2})
+        assert not small_graph.is_connected_subset({0, 5})
+        assert small_graph.is_connected_subset(set())
+        assert small_graph.is_connected_subset({7})
+
+    def test_is_connected_subset_unknown_node(self, small_graph):
+        with pytest.raises(KeyError):
+            small_graph.is_connected_subset({0, 42})
+
+
+class TestKHop:
+    def test_k_hop_neighbors_base_cases(self, small_graph):
+        assert small_graph.k_hop_neighbors(0, 0) == {0}
+        assert small_graph.k_hop_neighbors(0, 1) == {0, 1, 3}
+
+    def test_k_hop_neighbors_growth(self, small_graph):
+        n2 = small_graph.k_hop_neighbors(0, 2)
+        assert n2 == {0, 1, 3, 2, 4}
+        big = small_graph.k_hop_neighbors(0, 10)
+        assert big == set(small_graph.nodes())
+
+    def test_negative_k_rejected(self, small_graph):
+        with pytest.raises(ValueError):
+            small_graph.k_hop_neighbors(0, -1)
+        with pytest.raises(ValueError):
+            small_graph.k_hop_view_graph(0, -1)
+
+    def test_view_graph_excludes_outer_ring_links(self):
+        # Square 0-1-2-3 with v=0: nodes 1 and 3 are 1 hop, node 2 is 2
+        # hops; the links (1,2) and (3,2) are visible in G_2(0), but a
+        # link between two 2-hop nodes would not be.
+        graph = Topology(edges=[(0, 1), (0, 3), (1, 2), (3, 2), (2, 4), (4, 0)])
+        # Make 2 and 4 both 1 hop? No: 4 adjacent to 0, so 4 is 1-hop.
+        view = graph.k_hop_view_graph(0, 1)
+        assert set(view.nodes()) == {0, 1, 3, 4}
+        assert view.has_edge(0, 1)
+        assert not view.has_edge(1, 2)  # 2 invisible at k=1
+
+    def test_view_graph_definition2_edge_rule(self):
+        # Path 0-1-2 plus triangle 2-3, 2-4, 3-4: from node 0 with k=2,
+        # nodes {0,1,2} visible plus... 3,4 at 3 hops are invisible.
+        graph = Topology(edges=[(0, 1), (1, 2), (2, 3), (2, 4), (3, 4)])
+        view = graph.k_hop_view_graph(0, 2)
+        assert set(view.nodes()) == {0, 1, 2}
+        assert view.edges() == [(0, 1), (1, 2)]
+
+    def test_view_graph_exact_k_link_invisible(self):
+        # Diamond: 0-1, 0-2, 1-3, 2-3 and link 1-2 between 1-hop nodes,
+        # link 3-4 beyond. From 0 with k=2: 3 and the 1-2 link visible;
+        # a link between two nodes both at distance exactly 2 must not be.
+        graph = Topology(
+            edges=[(0, 1), (0, 2), (1, 3), (2, 4), (3, 4), (1, 2)]
+        )
+        view = graph.k_hop_view_graph(0, 2)
+        # 3 and 4 are both exactly 2 hops from 0; their link is invisible.
+        assert 3 in view and 4 in view
+        assert not view.has_edge(3, 4)
+        assert view.has_edge(1, 2)
+
+    def test_view_graph_full_radius_equals_graph(self, small_graph):
+        diameter = small_graph.diameter()
+        view = small_graph.k_hop_view_graph(0, diameter + 1)
+        assert view == small_graph
+
+    def test_view_graph_is_subgraph(self, small_graph):
+        for k in range(4):
+            view = small_graph.k_hop_view_graph(2, k)
+            assert view.is_subgraph_of(small_graph)
+
+
+class TestSubgraph:
+    def test_induced_subgraph(self, small_graph):
+        sub = small_graph.subgraph({0, 1, 4})
+        assert set(sub.nodes()) == {0, 1, 4}
+        assert sub.has_edge(0, 1) and sub.has_edge(1, 4)
+        assert not sub.has_edge(0, 4)
+
+    def test_subgraph_unknown_node(self, small_graph):
+        with pytest.raises(KeyError):
+            small_graph.subgraph({0, 99})
+
+    def test_is_subgraph_of(self, small_graph):
+        sub = small_graph.subgraph({0, 1, 3})
+        assert sub.is_subgraph_of(small_graph)
+        assert not small_graph.is_subgraph_of(sub)
+        other = Topology(edges=[(0, 5)])
+        assert not other.is_subgraph_of(small_graph)
+
+
+class TestNcr:
+    def test_ncr_of_star_hub_is_one(self):
+        graph = Topology.star(5)
+        assert graph.neighborhood_connectivity_ratio(0) == 1.0
+
+    def test_ncr_in_clique_is_zero(self):
+        graph = Topology.complete(4)
+        for node in graph.nodes():
+            assert graph.neighborhood_connectivity_ratio(node) == 0.0
+
+    def test_ncr_low_degree_nodes(self):
+        graph = Topology.path(3)
+        assert graph.neighborhood_connectivity_ratio(0) == 0.0  # degree 1
+        assert graph.neighborhood_connectivity_ratio(1) == 1.0
+
+    def test_ncr_partial(self):
+        # Node 0 with neighbors 1,2,3; only 1-2 connected: 2 of 6 ordered
+        # pairs connected -> ncr = 1 - 2/6.
+        graph = Topology(edges=[(0, 1), (0, 2), (0, 3), (1, 2)])
+        assert graph.neighborhood_connectivity_ratio(0) == pytest.approx(
+            1 - 2 / 6
+        )
+
+
+class TestConstructors:
+    def test_complete(self):
+        graph = Topology.complete(5)
+        assert graph.edge_count() == 10
+
+    def test_path(self):
+        graph = Topology.path(4)
+        assert graph.edges() == [(0, 1), (1, 2), (2, 3)]
+
+    def test_cycle(self):
+        graph = Topology.cycle(4)
+        assert graph.edge_count() == 4
+        with pytest.raises(ValueError):
+            Topology.cycle(2)
+
+    def test_star(self):
+        graph = Topology.star(4)
+        assert graph.degree(0) == 3
+        with pytest.raises(ValueError):
+            Topology.star(0)
+
+    def test_from_edge_list(self):
+        graph = Topology.from_edge_list([(5, 6), (6, 7)])
+        assert set(graph.nodes()) == {5, 6, 7}

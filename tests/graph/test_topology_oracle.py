@@ -1,0 +1,91 @@
+"""Property-based validation of Topology against networkx oracles."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.topology import Topology
+
+
+@st.composite
+def random_graphs(draw, max_nodes: int = 12):
+    """A random Topology together with its networkx twin."""
+    n = draw(st.integers(min_value=1, max_value=max_nodes))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    chosen = draw(
+        st.lists(st.sampled_from(possible), max_size=len(possible))
+        if possible
+        else st.just([])
+    )
+    graph = Topology(nodes=range(n), edges=chosen)
+    mirror = nx.Graph()
+    mirror.add_nodes_from(range(n))
+    mirror.add_edges_from(chosen)
+    return graph, mirror
+
+
+@given(random_graphs())
+@settings(max_examples=80, deadline=None)
+def test_bfs_distances_match_networkx(pair):
+    graph, mirror = pair
+    distances = graph.bfs_distances(0)
+    expected = nx.single_source_shortest_path_length(mirror, 0)
+    assert distances == dict(expected)
+
+
+@given(random_graphs())
+@settings(max_examples=80, deadline=None)
+def test_connected_components_match_networkx(pair):
+    graph, mirror = pair
+    ours = sorted(sorted(c) for c in graph.connected_components())
+    theirs = sorted(sorted(c) for c in nx.connected_components(mirror))
+    assert ours == theirs
+
+
+@given(random_graphs())
+@settings(max_examples=80, deadline=None)
+def test_connectivity_matches_networkx(pair):
+    graph, mirror = pair
+    if len(mirror) == 0:
+        return
+    assert graph.is_connected() == nx.is_connected(mirror)
+
+
+@given(random_graphs())
+@settings(max_examples=60, deadline=None)
+def test_k_hop_neighbors_match_ego_graph(pair):
+    graph, mirror = pair
+    for k in (1, 2, 3):
+        ours = graph.k_hop_neighbors(0, k)
+        theirs = set(nx.ego_graph(mirror, 0, radius=k).nodes())
+        assert ours == theirs
+
+
+@given(random_graphs())
+@settings(max_examples=60, deadline=None)
+def test_degree_and_edges_match(pair):
+    graph, mirror = pair
+    assert graph.edge_count() == mirror.number_of_edges()
+    for node in graph.nodes():
+        assert graph.degree(node) == mirror.degree(node)
+
+
+@given(random_graphs())
+@settings(max_examples=60, deadline=None)
+def test_view_graph_edge_rule(pair):
+    """E_k(v) = E ∩ (N_{k-1} x N_k): verified edge by edge via networkx."""
+    graph, mirror = pair
+    distances = dict(nx.single_source_shortest_path_length(mirror, 0))
+    for k in (1, 2, 3):
+        view = graph.k_hop_view_graph(0, k)
+        visible_nodes = {u for u, d in distances.items() if d <= k}
+        assert set(view.nodes()) == visible_nodes
+        expected_edges = {
+            (min(u, v), max(u, v))
+            for u, v in mirror.edges()
+            if u in distances
+            and v in distances
+            and min(distances[u], distances[v]) <= k - 1
+            and max(distances[u], distances[v]) <= k
+        }
+        assert set(view.edges()) == expected_edges

@@ -1,0 +1,121 @@
+"""Tests for unit-disk graph construction and range calibration."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.geometry import Area, Point, random_points
+from repro.graph.unit_disk import (
+    UnitDiskGraph,
+    build_unit_disk_graph,
+    range_for_average_degree,
+    range_for_link_count,
+)
+
+
+def _square_positions():
+    return {
+        0: Point(0, 0),
+        1: Point(1, 0),
+        2: Point(0, 1),
+        3: Point(1, 1),
+    }
+
+
+class TestBuild:
+    def test_radius_selects_edges(self):
+        udg = build_unit_disk_graph(_square_positions(), radius=1.0)
+        # Sides (length 1) connect; diagonals (sqrt 2) do not.
+        assert udg.link_count == 4
+        assert not udg.topology.has_edge(0, 3)
+
+    def test_radius_is_inclusive(self):
+        positions = {0: Point(0, 0), 1: Point(2, 0)}
+        udg = build_unit_disk_graph(positions, radius=2.0)
+        assert udg.topology.has_edge(0, 1)
+
+    def test_zero_radius_empty(self):
+        udg = build_unit_disk_graph(_square_positions(), radius=0.0)
+        assert udg.link_count == 0
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            build_unit_disk_graph(_square_positions(), radius=-1.0)
+
+    def test_positions_topology_consistency_enforced(self):
+        udg = build_unit_disk_graph(_square_positions(), radius=1.0)
+        with pytest.raises(ValueError):
+            UnitDiskGraph(
+                topology=udg.topology,
+                positions={0: Point(0, 0)},
+                radius=1.0,
+            )
+
+    def test_with_radius_rebuilds(self):
+        udg = build_unit_disk_graph(_square_positions(), radius=1.0)
+        denser = udg.with_radius(2.0)
+        assert denser.link_count == 6
+        assert udg.link_count == 4  # original untouched
+
+
+class TestCalibration:
+    def test_exact_link_count_distinct_distances(self):
+        positions = {
+            0: Point(0, 0),
+            1: Point(1.1, 0),
+            2: Point(0, 2.3),
+            3: Point(3.7, 1.9),
+        }
+        for links in range(0, 7):
+            radius = range_for_link_count(positions, links)
+            udg = build_unit_disk_graph(positions, radius)
+            assert udg.link_count == links
+
+    def test_tied_distances_round_up(self):
+        # All four unit-square sides tie at distance 1: asking for one
+        # link includes the whole tie group ("at least" semantics).
+        positions = _square_positions()
+        radius = range_for_link_count(positions, 1)
+        udg = build_unit_disk_graph(positions, radius)
+        assert udg.link_count == 4
+
+    def test_link_count_bounds(self):
+        positions = _square_positions()
+        with pytest.raises(ValueError):
+            range_for_link_count(positions, -1)
+        with pytest.raises(ValueError):
+            range_for_link_count(positions, 7)
+
+    def test_average_degree_calibration(self):
+        rng = random.Random(11)
+        positions = random_points(30, Area(), rng)
+        radius, links = range_for_average_degree(positions, 6.0)
+        assert links == 90  # 30 * 6 / 2
+        udg = build_unit_disk_graph(positions, radius)
+        assert udg.link_count == 90
+        assert udg.average_degree() == pytest.approx(6.0)
+
+    def test_average_degree_capped_at_complete(self):
+        positions = _square_positions()
+        _radius, links = range_for_average_degree(positions, 100.0)
+        assert links == 6
+
+    def test_negative_degree_rejected(self):
+        with pytest.raises(ValueError):
+            range_for_average_degree(_square_positions(), -1.0)
+
+
+@given(st.integers(min_value=5, max_value=25), st.integers(min_value=0, max_value=2 ** 30))
+@settings(max_examples=40, deadline=None)
+def test_calibration_is_exact_for_random_deployments(n, seed):
+    """The paper's recipe: exactly nd/2 links for random placements."""
+    rng = random.Random(seed)
+    positions = random_points(n, Area(), rng)
+    target = rng.randint(0, n * (n - 1) // 2)
+    radius = range_for_link_count(positions, target)
+    udg = build_unit_disk_graph(positions, radius)
+    # Exact when distances are distinct (a.s.); never below the target.
+    assert udg.link_count >= target
+    assert udg.link_count == target  # random placements: ties improbable

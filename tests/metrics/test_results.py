@@ -1,0 +1,59 @@
+"""Tests for result records and table formatting."""
+
+import pytest
+
+from repro.metrics.results import DataPoint, ResultTable, Series, format_table
+
+
+def _sample_table() -> ResultTable:
+    table = ResultTable(title="demo", x_label="n", y_label="forward nodes")
+    a = Series(label="A")
+    a.add(DataPoint(x=20, mean=10.0))
+    a.add(DataPoint(x=40, mean=18.5))
+    b = Series(label="B")
+    b.add(DataPoint(x=20, mean=9.0))
+    table.add_series(a)
+    table.add_series(b)
+    return table
+
+
+class TestSeries:
+    def test_accessors(self):
+        series = Series(label="s")
+        series.add(DataPoint(x=1, mean=2.0, half_width=0.1, samples=30))
+        assert series.xs() == [1]
+        assert series.means() == [2.0]
+        assert series.value_at(1) == 2.0
+        assert series.value_at(99) is None
+
+
+class TestResultTable:
+    def test_xs_union_sorted(self):
+        table = _sample_table()
+        assert table.xs() == [20, 40]
+
+    def test_get_series(self):
+        table = _sample_table()
+        assert table.get_series("A").label == "A"
+        with pytest.raises(KeyError):
+            table.get_series("missing")
+
+
+class TestFormatTable:
+    def test_contains_rows_and_columns(self):
+        text = format_table(_sample_table())
+        assert "demo" in text
+        assert "A" in text and "B" in text
+        assert "18.50" in text
+        assert "-" in text  # B unmeasured at n=40
+
+    def test_precision(self):
+        text = format_table(_sample_table(), precision=1)
+        assert "18.5" in text
+        assert "18.50" not in text
+
+    def test_alignment_is_consistent(self):
+        lines = format_table(_sample_table()).splitlines()
+        data_lines = [l for l in lines if l and l[0] != "d" and "-" not in l[:2]]
+        widths = {len(l) for l in lines if l.startswith(" ") or l[:1].isdigit()}
+        assert len(widths) <= 2  # header underline may differ

@@ -1,0 +1,150 @@
+"""Tests for the statistics module (with scipy as the oracle)."""
+
+import math
+import random
+
+import pytest
+import scipy.stats
+
+from repro.metrics.stats import (
+    confidence_interval,
+    mean,
+    repeat_until_confident,
+    sample_stdev,
+    student_t_quantile,
+)
+
+
+class TestBasics:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_sample_stdev(self):
+        assert sample_stdev([2.0, 4.0]) == pytest.approx(math.sqrt(2))
+        with pytest.raises(ValueError):
+            sample_stdev([1.0])
+
+    def test_stdev_matches_scipy(self):
+        rng = random.Random(1)
+        data = [rng.gauss(10, 3) for _ in range(50)]
+        import statistics
+
+        assert sample_stdev(data) == pytest.approx(statistics.stdev(data))
+
+
+class TestStudentT:
+    @pytest.mark.parametrize("dof", [1, 2, 5, 9, 29, 100])
+    @pytest.mark.parametrize("p", [0.9, 0.95, 0.975, 0.99])
+    def test_quantiles_match_scipy(self, dof, p):
+        ours = student_t_quantile(p, dof)
+        theirs = scipy.stats.t.ppf(p, dof)
+        assert ours == pytest.approx(theirs, rel=1e-6, abs=1e-8)
+
+    def test_symmetry(self):
+        assert student_t_quantile(0.1, 7) == pytest.approx(
+            -student_t_quantile(0.9, 7), rel=1e-9
+        )
+
+    def test_median_is_zero(self):
+        assert student_t_quantile(0.5, 4) == 0.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            student_t_quantile(0.0, 5)
+        with pytest.raises(ValueError):
+            student_t_quantile(1.5, 5)
+        with pytest.raises(ValueError):
+            student_t_quantile(0.9, 0)
+
+
+class TestConfidenceInterval:
+    def test_matches_scipy_interval(self):
+        rng = random.Random(2)
+        data = [rng.gauss(30, 5) for _ in range(40)]
+        interval = confidence_interval(data, confidence=0.90)
+        low, high = scipy.stats.t.interval(
+            0.90,
+            len(data) - 1,
+            loc=scipy.stats.tmean(data),
+            scale=scipy.stats.sem(data),
+        )
+        assert interval.low == pytest.approx(low, rel=1e-6)
+        assert interval.high == pytest.approx(high, rel=1e-6)
+
+    def test_relative_half_width(self):
+        interval = confidence_interval([10.0, 10.0, 10.1, 9.9])
+        assert interval.relative_half_width() == pytest.approx(
+            interval.half_width / interval.mean
+        )
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1.0])
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1.0, 2.0], confidence=1.0)
+
+    def test_zero_mean_relative_width(self):
+        interval = confidence_interval([-1.0, 1.0])
+        assert interval.mean == 0.0
+        assert interval.relative_half_width() == math.inf
+
+
+class TestRepeatUntilConfident:
+    def test_constant_sampler_converges_fast(self):
+        calls = []
+
+        def sample():
+            calls.append(1)
+            return 42.0
+
+        result = repeat_until_confident(sample, min_runs=10, max_runs=100)
+        assert result.converged
+        assert result.mean == 42.0
+        assert len(calls) == 10  # zero variance: done at min_runs
+
+    def test_noisy_sampler_stops_within_bounds(self):
+        rng = random.Random(3)
+        result = repeat_until_confident(
+            lambda: rng.gauss(100, 5),
+            min_runs=10,
+            max_runs=5000,
+            relative_half_width=0.01,
+        )
+        assert result.converged
+        assert result.mean == pytest.approx(100, rel=0.05)
+        assert 10 <= len(result.samples) <= 5000
+
+    def test_max_runs_caps_divergent_sampler(self):
+        rng = random.Random(4)
+        result = repeat_until_confident(
+            lambda: rng.gauss(0.0, 100.0),  # mean 0: never converges
+            min_runs=10,
+            max_runs=50,
+        )
+        assert not result.converged
+        assert len(result.samples) == 50
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            repeat_until_confident(lambda: 1.0, min_runs=1)
+        with pytest.raises(ValueError):
+            repeat_until_confident(lambda: 1.0, min_runs=10, max_runs=5)
+        with pytest.raises(ValueError):
+            repeat_until_confident(lambda: 1.0, batch=0)
+
+    def test_paper_stopping_rule(self):
+        """90% CI within +-1% of the mean — the paper's exact rule."""
+        rng = random.Random(5)
+        result = repeat_until_confident(
+            lambda: rng.uniform(95, 105),
+            confidence=0.90,
+            relative_half_width=0.01,
+            min_runs=10,
+            max_runs=10_000,
+        )
+        assert result.converged
+        assert result.interval.relative_half_width() <= 0.01

@@ -1,0 +1,103 @@
+"""Tests for the CDS backbone router."""
+
+import random
+
+import pytest
+
+from repro.algorithms.generic import GenericStatic
+from repro.core.priority import DegreePriority
+from repro.graph.generators import random_connected_network
+from repro.graph.topology import Topology
+from repro.routing.backbone import BackboneRouter
+from repro.sim.engine import SimulationEnvironment
+
+
+def _router(seed: int = 5, n: int = 40, degree: float = 6.0) -> BackboneRouter:
+    rng = random.Random(seed)
+    net = random_connected_network(n, degree, rng)
+    env = SimulationEnvironment(net.topology, DegreePriority())
+    protocol = GenericStatic(hops=2)
+    protocol.prepare(env)
+    return BackboneRouter(net.topology, protocol.forward_set)
+
+
+class TestConstruction:
+    def test_rejects_non_cds(self):
+        graph = Topology.path(4)
+        with pytest.raises(ValueError):
+            BackboneRouter(graph, {0, 3})  # disconnected interior
+
+    def test_accepts_valid_cds(self):
+        graph = Topology.path(4)
+        router = BackboneRouter(graph, {1, 2})
+        assert router.backbone == {1, 2}
+
+
+class TestAttachment:
+    def test_backbone_node_attaches_to_itself(self):
+        router = BackboneRouter(Topology.path(4), {1, 2})
+        assert router.attachment_points(1) == {1}
+
+    def test_leaf_attaches_to_adjacent_backbone(self):
+        router = BackboneRouter(Topology.path(4), {1, 2})
+        assert router.attachment_points(0) == {1}
+        assert router.attachment_points(3) == {2}
+
+
+class TestRouting:
+    def test_trivial_routes(self):
+        router = BackboneRouter(Topology.path(4), {1, 2})
+        assert router.route(0, 0) == [0]
+        assert router.route(0, 1) == [0, 1]  # direct edge
+
+    def test_end_to_end_route(self):
+        router = BackboneRouter(Topology.path(4), {1, 2})
+        assert router.route(0, 3) == [0, 1, 2, 3]
+
+    def test_every_pair_routable_on_random_networks(self):
+        router = _router()
+        nodes = router.graph.nodes()
+        rng = random.Random(1)
+        for _ in range(30):
+            s, t = rng.sample(nodes, 2)
+            path = router.route(s, t)
+            assert path is not None
+            assert path[0] == s and path[-1] == t
+            # Interior stays in the backbone.
+            for hop in path[1:-1]:
+                assert hop in router.backbone
+            # Consecutive hops are edges.
+            for a, b in zip(path, path[1:]):
+                assert router.graph.has_edge(a, b)
+
+    def test_route_has_no_repeated_nodes(self):
+        router = _router(seed=9)
+        rng = random.Random(2)
+        for _ in range(20):
+            s, t = rng.sample(router.graph.nodes(), 2)
+            path = router.route(s, t)
+            assert len(path) == len(set(path))
+
+
+class TestStretch:
+    def test_stretch_at_least_one(self):
+        router = _router(seed=11)
+        rng = random.Random(3)
+        pairs = [tuple(rng.sample(router.graph.nodes(), 2)) for _ in range(25)]
+        for s, t in pairs:
+            assert router.stretch(s, t) >= 1.0
+
+    def test_mean_stretch_is_modest(self):
+        router = _router(seed=13)
+        rng = random.Random(4)
+        pairs = [tuple(rng.sample(router.graph.nodes(), 2)) for _ in range(40)]
+        assert router.mean_stretch(pairs) <= 1.6
+
+    def test_neighbors_have_stretch_one(self):
+        router = BackboneRouter(Topology.path(4), {1, 2})
+        assert router.stretch(0, 1) == 1.0
+
+    def test_empty_pairs_rejected(self):
+        router = BackboneRouter(Topology.path(4), {1, 2})
+        with pytest.raises(ValueError):
+            router.mean_stretch([])

@@ -1,0 +1,67 @@
+"""Integration: routers built from every backbone source the library has."""
+
+import random
+
+import pytest
+
+from repro.algorithms.generic import GenericStatic
+from repro.algorithms.rule_k import RuleK
+from repro.algorithms.wu_li import WuLi
+from repro.core.priority import DegreePriority
+from repro.core.refine import prune_cds
+from repro.graph.cds import greedy_cds
+from repro.graph.generators import random_connected_network
+from repro.routing.backbone import BackboneRouter
+from repro.sim.engine import SimulationEnvironment
+
+
+def _network(seed=81):
+    return random_connected_network(35, 8.0, random.Random(seed))
+
+
+def _static_backbone(protocol_cls, graph):
+    env = SimulationEnvironment(graph, DegreePriority())
+    protocol = protocol_cls()
+    protocol.prepare(env)
+    return protocol.forward_set
+
+
+@pytest.mark.parametrize(
+    "backbone_source",
+    ["generic-static", "wu-li", "rule-k", "greedy-cds", "pruned-greedy"],
+)
+def test_every_backbone_source_routes_all_pairs(backbone_source):
+    net = _network()
+    graph = net.topology
+    if backbone_source == "generic-static":
+        backbone = _static_backbone(GenericStatic, graph)
+    elif backbone_source == "wu-li":
+        backbone = _static_backbone(WuLi, graph)
+    elif backbone_source == "rule-k":
+        backbone = _static_backbone(RuleK, graph)
+    elif backbone_source == "greedy-cds":
+        backbone = greedy_cds(graph)
+    else:
+        backbone = prune_cds(graph, greedy_cds(graph))
+
+    router = BackboneRouter(graph, backbone)
+    rng = random.Random(5)
+    for _ in range(25):
+        s, t = rng.sample(graph.nodes(), 2)
+        path = router.route(s, t)
+        assert path is not None
+        assert path[0] == s and path[-1] == t
+        for a, b in zip(path, path[1:]):
+            assert graph.has_edge(a, b)
+
+
+def test_pruned_backbone_never_larger():
+    net = _network(seed=82)
+    base = greedy_cds(net.topology)
+    pruned = prune_cds(net.topology, base)
+    assert len(pruned) <= len(base)
+    # Both route; the pruned one keeps stretch reasonable.
+    rng = random.Random(6)
+    pairs = [tuple(rng.sample(net.topology.nodes(), 2)) for _ in range(20)]
+    router = BackboneRouter(net.topology, pruned)
+    assert router.mean_stretch(pairs) <= 1.8

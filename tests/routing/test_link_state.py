@@ -1,0 +1,68 @@
+"""Tests for OLSR-style link-state routing over MPR floods."""
+
+import random
+
+import pytest
+
+from repro.graph.generators import random_connected_network
+from repro.graph.topology import Topology
+from repro.routing.link_state import LinkStateNode, LinkStateRouting
+
+
+class TestLinkStateNode:
+    def test_next_hop_on_known_topology(self):
+        node = LinkStateNode(0, database={(0, 1), (1, 2)})
+        assert node.next_hop(2) == 1
+        assert node.next_hop(1) == 1
+
+    def test_unknown_target(self):
+        node = LinkStateNode(0, database={(0, 1)})
+        assert node.next_hop(9) is None
+
+    def test_self_target(self):
+        node = LinkStateNode(0, database={(0, 1)})
+        assert node.next_hop(0) is None
+
+
+class TestDissemination:
+    def test_full_database_everywhere(self):
+        rng = random.Random(7)
+        net = random_connected_network(30, 6.0, rng)
+        routing = LinkStateRouting(net.topology, rng)
+        routing.disseminate()
+        all_edges = {
+            (min(u, v), max(u, v)) for u, v in net.topology.edges()
+        }
+        for state in routing.nodes.values():
+            assert state.database == all_edges
+
+    def test_mpr_saves_transmissions(self):
+        rng = random.Random(8)
+        net = random_connected_network(40, 10.0, rng)
+        routing = LinkStateRouting(net.topology, rng)
+        routing.disseminate()
+        assert routing.total_transmissions < routing.flooding_transmissions
+        assert routing.savings() > 0.2  # MPR cuts dense floods deeply
+
+    def test_savings_zero_before_dissemination(self):
+        routing = LinkStateRouting(Topology.path(3))
+        assert routing.savings() == 0.0
+
+
+class TestHopByHopRouting:
+    def test_routes_follow_shortest_paths(self):
+        rng = random.Random(9)
+        net = random_connected_network(25, 6.0, rng)
+        routing = LinkStateRouting(net.topology, rng)
+        routing.disseminate()
+        for _ in range(20):
+            s, t = rng.sample(net.topology.nodes(), 2)
+            path = routing.route(s, t)
+            direct = net.topology.shortest_path(s, t)
+            assert path is not None
+            assert path[0] == s and path[-1] == t
+            assert len(path) == len(direct)  # link-state = shortest paths
+
+    def test_route_fails_gracefully_without_dissemination(self):
+        routing = LinkStateRouting(Topology.path(3))
+        assert routing.route(0, 2) is None

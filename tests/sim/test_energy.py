@@ -1,0 +1,153 @@
+"""Tests for energy tracking, energy-aware priorities, and lifetime."""
+
+import random
+
+import pytest
+
+from repro.algorithms.base import Timing
+from repro.algorithms.flooding import Flooding
+from repro.algorithms.generic import GenericSelfPruning
+from repro.graph.generators import random_connected_network
+from repro.graph.topology import Topology
+from repro.sim.energy import (
+    EnergyAwarePriority,
+    EnergyTracker,
+    network_lifetime,
+)
+from repro.sim.engine import run_broadcast
+
+
+class TestEnergyTracker:
+    def test_initial_state(self):
+        tracker = EnergyTracker([1, 2, 3], initial=10.0)
+        assert tracker.remaining(1) == 10.0
+        assert tracker.alive() == {1, 2, 3}
+        assert tracker.depleted() == set()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyTracker([1], initial=0.0)
+        with pytest.raises(ValueError):
+            EnergyTracker([1], transmit_cost=-1.0)
+        with pytest.raises(ValueError):
+            EnergyTracker([])
+        with pytest.raises(KeyError):
+            EnergyTracker([1]).remaining(9)
+
+    def test_charging_from_outcome(self):
+        graph = Topology.path(3)
+        tracker = EnergyTracker(
+            graph.nodes(), initial=10.0,
+            transmit_cost=1.0, receive_cost=0.5,
+        )
+        outcome = run_broadcast(graph, Flooding(), source=0)
+        tracker.charge_outcome(outcome)
+        # Node 0: 1 transmit + 1 receipt (from node 1) = 1.5.
+        assert tracker.remaining(0) == pytest.approx(10.0 - 1.5)
+        # Node 1: 1 transmit + 2 receipts = 2.0.
+        assert tracker.remaining(1) == pytest.approx(10.0 - 2.0)
+
+    def test_remaining_clamped_at_zero(self):
+        graph = Topology.path(2)
+        tracker = EnergyTracker(graph.nodes(), initial=0.5, transmit_cost=1.0)
+        outcome = run_broadcast(graph, Flooding(), source=0)
+        tracker.charge_outcome(outcome)
+        assert tracker.remaining(0) == 0.0
+        assert 0 in tracker.depleted()
+
+    def test_min_remaining(self):
+        tracker = EnergyTracker([1, 2], initial=5.0)
+        assert tracker.min_remaining() == 5.0
+
+
+class TestEnergyAwarePriority:
+    def test_orders_by_residual_energy(self):
+        graph = Topology.path(3)
+        scheme = EnergyAwarePriority({0: 1.0, 1: 9.0, 2: 5.0})
+        metrics = scheme.metrics(graph)
+        assert metrics[1] > metrics[2] > metrics[0]
+
+    def test_missing_nodes_rank_lowest(self):
+        graph = Topology.path(3)
+        scheme = EnergyAwarePriority({0: 1.0})
+        assert scheme.metrics(graph)[2] == (0.0,)
+
+    def test_empty_snapshot_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyAwarePriority({})
+
+    def test_coverage_still_guaranteed(self):
+        rng = random.Random(19)
+        net = random_connected_network(25, 6.0, rng)
+        snapshot = {node: rng.uniform(1, 100) for node in net.topology.nodes()}
+        outcome = run_broadcast(
+            net.topology,
+            GenericSelfPruning(Timing.FIRST_RECEIPT, hops=2),
+            source=0,
+            scheme=EnergyAwarePriority(snapshot),
+            rng=rng,
+        )
+        assert outcome.delivered == set(net.topology.nodes())
+
+
+class TestNetworkLifetime:
+    def _graph(self):
+        return random_connected_network(
+            25, 6.0, random.Random(21)
+        ).topology
+
+    def test_runs_until_first_death(self):
+        graph = self._graph()
+        tracker = EnergyTracker(graph.nodes(), initial=20.0)
+        result = network_lifetime(
+            graph, Flooding, tracker, rng=random.Random(1)
+        )
+        assert result.node_died
+        assert result.broadcasts >= 1
+        assert result.survivors() < graph.node_count()
+
+    def test_cap_respected(self):
+        graph = self._graph()
+        tracker = EnergyTracker(graph.nodes(), initial=1e9)
+        result = network_lifetime(
+            graph, Flooding, tracker, rng=random.Random(1), max_broadcasts=3
+        )
+        assert not result.node_died
+        assert result.broadcasts == 3
+
+    def test_pruning_outlives_flooding(self):
+        graph = self._graph()
+
+        def lifetime(factory) -> int:
+            tracker = EnergyTracker(graph.nodes(), initial=30.0)
+            return network_lifetime(
+                graph, factory, tracker, rng=random.Random(2)
+            ).broadcasts
+
+        pruned = lifetime(
+            lambda: GenericSelfPruning(Timing.FIRST_RECEIPT, hops=2)
+        )
+        flooded = lifetime(Flooding)
+        assert pruned > flooded
+
+    def test_energy_aware_rotation_extends_lifetime(self):
+        """Span's thesis: energy-aware priorities postpone the first death."""
+        graph = self._graph()
+
+        def lifetime(scheme_factory) -> int:
+            tracker = EnergyTracker(
+                graph.nodes(), initial=25.0, receive_cost=0.05
+            )
+            return network_lifetime(
+                graph,
+                lambda: GenericSelfPruning(Timing.FIRST_RECEIPT, hops=2),
+                tracker,
+                scheme_factory=scheme_factory,
+                rng=random.Random(3),
+            ).broadcasts
+
+        fixed = lifetime(None)
+        energy_aware = lifetime(
+            lambda tracker: EnergyAwarePriority(tracker.snapshot())
+        )
+        assert energy_aware > fixed

@@ -1,0 +1,70 @@
+"""Tests for the hello protocol: k rounds build exactly G_k(v)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.generators import random_connected_network
+from repro.graph.topology import Topology
+from repro.sim.hello import run_hello_rounds
+
+
+class TestHelloRounds:
+    def test_round_zero_knows_only_self(self):
+        graph = Topology.path(4)
+        states = run_hello_rounds(graph, 0)
+        for node, state in states.items():
+            assert state.known_nodes == {node}
+            assert state.known_edges == set()
+
+    def test_one_round_learns_neighbors(self):
+        graph = Topology.path(4)
+        states = run_hello_rounds(graph, 1)
+        assert states[1].known_nodes == {0, 1, 2}
+        assert states[1].known_edges == {(0, 1), (1, 2)}
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            run_hello_rounds(Topology.path(2), -1)
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_matches_direct_extraction_on_random_networks(self, k):
+        rng = random.Random(31 + k)
+        net = random_connected_network(25, 6.0, rng)
+        states = run_hello_rounds(net.topology, k)
+        for node, state in states.items():
+            assert state.as_topology() == net.topology.k_hop_view_graph(
+                node, k
+            )
+
+    def test_enough_rounds_reveal_whole_graph(self):
+        graph = Topology.cycle(6)
+        states = run_hello_rounds(graph, 6)
+        for state in states.values():
+            assert state.as_topology() == graph
+
+    def test_rounds_completed_counter(self):
+        graph = Topology.path(3)
+        states = run_hello_rounds(graph, 3)
+        assert all(s.rounds_completed == 3 for s in states.values())
+
+
+@given(
+    st.integers(min_value=2, max_value=10),
+    st.integers(min_value=0, max_value=2 ** 31),
+    st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=40, deadline=None)
+def test_hello_equals_definition2_on_random_trees_plus_chords(n, seed, k):
+    rng = random.Random(seed)
+    graph = Topology(nodes=range(n))
+    for i in range(1, n):
+        graph.add_edge(i, rng.randrange(i))
+    for _ in range(rng.randrange(n)):
+        u, v = rng.sample(range(n), 2)
+        graph.add_edge(u, v)
+    states = run_hello_rounds(graph, k)
+    for node, state in states.items():
+        assert state.as_topology() == graph.k_hop_view_graph(node, k)

@@ -1,0 +1,105 @@
+"""Tests for the MAC models."""
+
+import random
+
+import pytest
+
+from repro.sim.mac import CollisionMac, IdealMac, JitterMac
+
+
+class TestIdealMac:
+    def test_uniform_delay(self):
+        mac = IdealMac(delay=2.0)
+        deliveries = mac.deliveries(0, 10.0, [1, 2, 3], random.Random(0))
+        assert deliveries == [(1, 12.0), (2, 12.0), (3, 12.0)]
+
+    def test_no_loss(self):
+        mac = IdealMac()
+        deliveries = mac.deliveries(0, 0.0, range(50), random.Random(0))
+        assert all(arrival is not None for _r, arrival in deliveries)
+
+    def test_invalid_delay(self):
+        with pytest.raises(ValueError):
+            IdealMac(delay=0.0)
+
+
+class TestJitterMac:
+    def test_jitter_within_bounds(self):
+        mac = JitterMac(delay=1.0, jitter=0.5)
+        rng = random.Random(3)
+        for receiver, arrival in mac.deliveries(0, 10.0, range(100), rng):
+            assert 11.0 <= arrival <= 11.5
+
+    def test_zero_jitter_degenerates_to_ideal(self):
+        mac = JitterMac(delay=1.0, jitter=0.0)
+        deliveries = mac.deliveries(0, 0.0, [1], random.Random(0))
+        assert deliveries == [(1, 1.0)]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            JitterMac(delay=-1.0)
+        with pytest.raises(ValueError):
+            JitterMac(jitter=-0.1)
+
+
+class TestCollisionMac:
+    def test_overlapping_arrivals_destroy_both(self):
+        mac = CollisionMac(delay=1.0, jitter=0.0, window=0.5)
+        rng = random.Random(0)
+        first = mac.deliveries(0, 0.0, [9], rng)
+        second = mac.deliveries(1, 0.1, [9], rng)
+        assert first == [(9, 1.0)]
+        assert second == [(9, None)]
+        # Both copies die: the later immediately, the earlier via poisoning.
+        assert mac.collisions == 2
+        assert mac.corrupted(9, 1.0)
+        assert not mac.corrupted(9, 99.0)
+
+    def test_spaced_arrivals_survive(self):
+        mac = CollisionMac(delay=1.0, jitter=0.0, window=0.5)
+        rng = random.Random(0)
+        mac.deliveries(0, 0.0, [9], rng)
+        late = mac.deliveries(1, 5.0, [9], rng)
+        assert late == [(9, 6.0)]
+        assert mac.collisions == 0
+
+    def test_reset_clears_state(self):
+        mac = CollisionMac()
+        rng = random.Random(0)
+        mac.deliveries(0, 0.0, [9], rng)
+        mac.deliveries(1, 0.0, [9], rng)
+        assert mac.collisions == 2
+        mac.reset()
+        assert mac.collisions == 0
+        fresh = mac.deliveries(2, 0.0, [9], rng)
+        assert fresh[0][1] is not None
+
+    def test_different_receivers_do_not_interfere(self):
+        mac = CollisionMac()
+        rng = random.Random(0)
+        mac.deliveries(0, 0.0, [1], rng)
+        other = mac.deliveries(2, 0.0, [3], rng)
+        assert other[0][1] is not None
+
+    def test_jitter_reduces_collisions(self):
+        """The paper's observation: a small jitter relieves collisions."""
+        def collision_rate(jitter: float) -> int:
+            mac = CollisionMac(delay=1.0, jitter=jitter, window=0.05)
+            rng = random.Random(42)
+            # Ten simultaneous senders, one common receiver.
+            for sender in range(10):
+                mac.deliveries(sender, 0.0, [99], rng)
+            return mac.collisions
+
+        # All ten copies die: nine reported lost on arrival, plus the
+        # first copy poisoned retroactively.
+        assert collision_rate(0.0) == 10
+        assert collision_rate(5.0) < collision_rate(0.0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CollisionMac(delay=0)
+        with pytest.raises(ValueError):
+            CollisionMac(jitter=-1)
+        with pytest.raises(ValueError):
+            CollisionMac(window=0)

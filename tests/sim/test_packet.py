@@ -1,0 +1,96 @@
+"""Tests for broadcast packets and trail piggybacking."""
+
+import pytest
+
+from repro.sim.packet import Packet, TrailEntry
+
+
+class TestPacket:
+    def test_original_trail_contains_source(self):
+        packet = Packet.original(5, frozenset({1, 2}), h=2)
+        assert packet.source == 5
+        assert packet.sender == 5
+        assert packet.trail == (TrailEntry(5, frozenset({1, 2})),)
+
+    def test_original_with_h_zero_has_no_trail(self):
+        packet = Packet.original(5, frozenset({1}), h=0)
+        assert packet.trail == ()
+        assert packet.designated_by_sender() == frozenset()
+
+    def test_designated_by_sender(self):
+        packet = Packet.original(5, frozenset({1, 2}), h=1)
+        assert packet.designated_by_sender() == frozenset({1, 2})
+
+    def test_forwarded_prepends_and_truncates(self):
+        packet = Packet.original(5, frozenset({1}), h=2)
+        hop1 = packet.forwarded(1, frozenset({7}), h=2)
+        assert [entry.node for entry in hop1.trail] == [1, 5]
+        hop2 = hop1.forwarded(7, frozenset(), h=2)
+        assert [entry.node for entry in hop2.trail] == [7, 1]
+        assert hop2.source == 5
+        assert hop2.sender == 7
+
+    def test_forwarded_h1_keeps_only_sender(self):
+        packet = Packet.original(5, frozenset(), h=1)
+        hop = packet.forwarded(1, frozenset({9}), h=1)
+        assert hop.trail == (TrailEntry(1, frozenset({9})),)
+
+    def test_negative_h_rejected(self):
+        packet = Packet.original(5, frozenset(), h=1)
+        with pytest.raises(ValueError):
+            packet.forwarded(1, frozenset(), h=-1)
+
+    def test_two_hop_piggyback(self):
+        packet = Packet.original(
+            5, frozenset(), h=1, sender_two_hop=frozenset({1, 2, 3})
+        )
+        assert packet.sender_two_hop == frozenset({1, 2, 3})
+        hop = packet.forwarded(
+            1, frozenset(), h=1, sender_two_hop=frozenset({4})
+        )
+        assert hop.sender_two_hop == frozenset({4})
+
+    def test_packets_are_immutable_values(self):
+        a = Packet.original(5, frozenset(), h=1)
+        b = Packet.original(5, frozenset(), h=1)
+        assert a == b
+
+
+class TestPacketSize:
+    def test_header_only(self):
+        packet = Packet.original(5, frozenset(), h=0)
+        assert packet.size_units() == 4
+        assert packet.size_units(header=10) == 10
+
+    def test_trail_and_designations_counted(self):
+        packet = Packet.original(5, frozenset({1, 2}), h=2)
+        # header 4 + trail entry (1 node + 2 designated).
+        assert packet.size_units() == 4 + 1 + 2
+
+    def test_two_hop_piggyback_counted(self):
+        packet = Packet.original(
+            5, frozenset(), h=0, sender_two_hop=frozenset({1, 2, 3})
+        )
+        assert packet.size_units() == 4 + 3
+
+    def test_tdp_packets_larger_than_dp(self):
+        import random
+
+        from repro.algorithms.dominant_pruning import (
+            DominantPruning,
+            TotalDominantPruning,
+        )
+        from repro.graph.generators import random_connected_network
+        from repro.sim.engine import run_broadcast
+
+        rng = random.Random(55)
+        net = random_connected_network(30, 8.0, rng)
+        dp = run_broadcast(
+            net.topology, DominantPruning(), source=0,
+            rng=random.Random(1),
+        )
+        tdp = run_broadcast(
+            net.topology, TotalDominantPruning(), source=0,
+            rng=random.Random(1),
+        )
+        assert tdp.bytes_transmitted > dp.bytes_transmitted

@@ -1,0 +1,98 @@
+"""Tests for NACK-based reliable broadcast recovery."""
+
+import random
+
+import pytest
+
+from repro.algorithms.flooding import Flooding
+from repro.algorithms.generic import GenericSelfPruning
+from repro.algorithms.gossip import Gossip
+from repro.core.priority import IdPriority
+from repro.graph.generators import random_connected_network
+from repro.graph.topology import Topology
+from repro.sim.engine import SimulationEnvironment
+from repro.sim.mac import CollisionMac, IdealMac
+from repro.sim.reliable import ReliableBroadcastSession
+
+
+def _session(graph, protocol, mac=None, seed=1, max_rounds=10):
+    env = SimulationEnvironment(graph, IdPriority())
+    protocol.prepare(env)
+    return ReliableBroadcastSession(
+        env, protocol, source=graph.nodes()[0],
+        rng=random.Random(seed), mac=mac, max_rounds=max_rounds,
+    )
+
+
+class TestIdealMacNoRecoveryNeeded:
+    def test_no_rounds_when_phase1_covers(self):
+        rng = random.Random(3)
+        net = random_connected_network(25, 6.0, rng)
+        outcome = _session(net.topology, GenericSelfPruning()).run()
+        assert outcome.rounds == 0
+        assert outcome.retransmissions == 0
+        assert outcome.recovered == set()
+        assert outcome.delivery_ratio(net.topology) == 1.0
+
+
+class TestRecoveryFromGossipHoles:
+    def test_gossip_holes_get_filled(self):
+        rng = random.Random(4)
+        net = random_connected_network(40, 6.0, rng)
+        # p = 0.3 gossip reliably leaves holes on sparse networks.
+        for seed in range(6):
+            outcome = _session(
+                net.topology, Gossip(p=0.3), seed=seed
+            ).run()
+            assert outcome.delivery_ratio(net.topology) == 1.0
+            if outcome.initial.delivered != outcome.delivered:
+                assert outcome.rounds >= 1
+                assert outcome.recovered
+                assert outcome.retransmissions >= 1
+
+    def test_recovered_disjoint_from_initial(self):
+        rng = random.Random(5)
+        net = random_connected_network(40, 6.0, rng)
+        outcome = _session(net.topology, Gossip(p=0.3), seed=2).run()
+        assert not (outcome.recovered & outcome.initial.delivered)
+
+
+class TestRecoveryUnderCollisions:
+    def test_collision_losses_recovered(self):
+        rng = random.Random(6)
+        net = random_connected_network(35, 10.0, rng)
+        mac = CollisionMac(delay=1.0, jitter=0.0, window=0.5)
+        outcome = _session(net.topology, Flooding(), mac=mac).run()
+        # The storm loses nodes in phase 1 ...
+        assert len(outcome.initial.delivered) < 35
+        # ... and the sparse recovery rounds bring them back.
+        assert outcome.delivery_ratio(net.topology) == 1.0
+
+    def test_round_budget_respected(self):
+        rng = random.Random(7)
+        net = random_connected_network(35, 10.0, rng)
+        mac = CollisionMac(delay=1.0, jitter=0.0, window=0.5)
+        outcome = _session(
+            net.topology, Flooding(), mac=mac, max_rounds=0
+        ).run()
+        assert outcome.rounds == 0
+        assert outcome.delivered == outcome.initial.delivered
+
+
+class TestValidation:
+    def test_negative_rounds_rejected(self):
+        env = SimulationEnvironment(Topology.path(3))
+        with pytest.raises(ValueError):
+            ReliableBroadcastSession(
+                env, Flooding(), source=0, max_rounds=-1
+            )
+
+    def test_stuck_when_no_holder_reachable(self):
+        # Source alone in its component cannot reach the other island.
+        graph = Topology(edges=[(0, 1), (2, 3)])
+        env = SimulationEnvironment(graph)
+        protocol = Flooding()
+        protocol.prepare(env)
+        outcome = ReliableBroadcastSession(env, protocol, source=0).run()
+        assert outcome.delivered == {0, 1}
+        assert outcome.rounds == 0  # nobody to NACK

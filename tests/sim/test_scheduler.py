@@ -1,0 +1,85 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.sim.scheduler import EventScheduler
+
+
+class TestScheduler:
+    def test_time_ordering(self):
+        scheduler = EventScheduler()
+        log = []
+        scheduler.schedule_at(3.0, lambda: log.append("c"))
+        scheduler.schedule_at(1.0, lambda: log.append("a"))
+        scheduler.schedule_at(2.0, lambda: log.append("b"))
+        scheduler.run()
+        assert log == ["a", "b", "c"]
+
+    def test_fifo_tie_break(self):
+        scheduler = EventScheduler()
+        log = []
+        for tag in "abc":
+            scheduler.schedule_at(1.0, lambda t=tag: log.append(t))
+        scheduler.run()
+        assert log == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        scheduler = EventScheduler()
+        seen = []
+        scheduler.schedule_at(2.5, lambda: seen.append(scheduler.now))
+        scheduler.run()
+        assert seen == [2.5]
+        assert scheduler.now == 2.5
+
+    def test_schedule_in_is_relative(self):
+        scheduler = EventScheduler()
+        seen = []
+
+        def first():
+            scheduler.schedule_in(1.5, lambda: seen.append(scheduler.now))
+
+        scheduler.schedule_at(1.0, first)
+        scheduler.run()
+        assert seen == [2.5]
+
+    def test_past_scheduling_rejected(self):
+        scheduler = EventScheduler()
+        scheduler.schedule_at(5.0, lambda: None)
+        scheduler.run()
+        with pytest.raises(ValueError):
+            scheduler.schedule_at(1.0, lambda: None)
+        with pytest.raises(ValueError):
+            scheduler.schedule_in(-1.0, lambda: None)
+
+    def test_events_scheduled_during_run_execute(self):
+        scheduler = EventScheduler()
+        log = []
+
+        def cascade(depth):
+            log.append(depth)
+            if depth < 3:
+                scheduler.schedule_in(1.0, lambda: cascade(depth + 1))
+
+        scheduler.schedule_at(0.0, lambda: cascade(0))
+        scheduler.run()
+        assert log == [0, 1, 2, 3]
+
+    def test_max_events_cap(self):
+        scheduler = EventScheduler()
+        log = []
+        for i in range(5):
+            scheduler.schedule_at(float(i), lambda i=i: log.append(i))
+        executed = scheduler.run(max_events=2)
+        assert executed == 2
+        assert log == [0, 1]
+        assert scheduler.pending_events == 3
+        scheduler.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_counters(self):
+        scheduler = EventScheduler()
+        scheduler.schedule_at(1.0, lambda: None)
+        assert scheduler.pending_events == 1
+        scheduler.run()
+        assert scheduler.executed_events == 1
+        assert scheduler.pending_events == 0

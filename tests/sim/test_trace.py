@@ -1,0 +1,35 @@
+"""Tests for the trace recorder."""
+
+from repro.sim.trace import TraceEvent, TraceRecorder
+
+
+class TestTrace:
+    def test_records_in_order(self):
+        trace = TraceRecorder()
+        trace.record(0.0, "transmit", 1)
+        trace.record(1.0, "receive", 2, "from 1")
+        assert len(trace) == 2
+        assert [e.kind for e in trace] == ["transmit", "receive"]
+
+    def test_filter_by_kind(self):
+        trace = TraceRecorder()
+        trace.record(0.0, "transmit", 1)
+        trace.record(1.0, "receive", 2)
+        trace.record(2.0, "transmit", 2)
+        assert len(trace.events("transmit")) == 2
+        assert trace.events() == list(trace)
+
+    def test_format_contains_fields(self):
+        trace = TraceRecorder()
+        trace.record(1.5, "decide", 3, "non-forward")
+        text = trace.format()
+        assert "decide" in text
+        assert "node 3" in text
+        assert "non-forward" in text
+
+    def test_event_str(self):
+        event = TraceEvent(2.0, "receive", 4, "from 1")
+        assert "receive" in str(event)
+        assert "from 1" in str(event)
+        bare = TraceEvent(2.0, "receive", 4)
+        assert str(bare).endswith("node 4")

@@ -1,0 +1,46 @@
+"""The public API surface: everything `repro` re-exports works together."""
+
+import random
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__
+
+
+class TestDocstringExample:
+    def test_module_docstring_quickstart_runs(self):
+        rng = random.Random(7)
+        network = repro.random_connected_network(50, 6.0, rng)
+        config = repro.FrameworkConfig(
+            timing="fr", selection="self-pruning", hops=2, priority="degree"
+        )
+        outcome = repro.run_broadcast(
+            network.topology,
+            repro.build_protocol(config),
+            source=0,
+            scheme=repro.build_scheme(config),
+            rng=rng,
+        )
+        assert outcome.forward_count < 50
+        assert len(outcome.delivered) == 50
+
+
+class TestCreateRoundTrip:
+    def test_every_registry_name_runs(self):
+        rng = random.Random(8)
+        network = repro.random_connected_network(20, 5.0, rng)
+        for name in repro.REGISTRY:
+            outcome = repro.run_broadcast(
+                network.topology, repro.create(name), source=0,
+                rng=random.Random(1),
+            )
+            assert len(outcome.delivered) == 20, name

@@ -1,0 +1,105 @@
+"""Tests for the ASCII chart and SVG renderers."""
+
+import random
+
+import pytest
+
+from repro.graph.generators import random_connected_network
+from repro.metrics.results import DataPoint, ResultTable, Series
+from repro.viz.ascii_plot import ascii_chart
+from repro.viz.network_svg import network_svg
+
+
+def _table():
+    table = ResultTable(title="chart", x_label="n", y_label="y")
+    series = Series(label="A")
+    series.add(DataPoint(x=20, mean=10.0))
+    series.add(DataPoint(x=100, mean=50.0))
+    table.add_series(series)
+    return table
+
+
+class TestAsciiChart:
+    def test_contains_title_legend_and_markers(self):
+        text = ascii_chart(_table())
+        assert "chart" in text
+        assert "o=A" in text
+        assert "o" in text.splitlines()[3]
+
+    def test_axis_annotations(self):
+        text = ascii_chart(_table())
+        assert "50.00" in text
+        assert "10.00" in text
+        assert "20" in text and "100" in text
+
+    def test_empty_table(self):
+        empty = ResultTable(title="empty", x_label="n", y_label="y")
+        assert "(no data)" in ascii_chart(empty)
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(ValueError):
+            ascii_chart(_table(), width=5, height=2)
+
+    def test_flat_series_does_not_crash(self):
+        table = ResultTable(title="flat", x_label="n", y_label="y")
+        series = Series(label="A")
+        series.add(DataPoint(x=1, mean=5.0))
+        table.add_series(series)
+        assert "flat" in ascii_chart(table)
+
+
+class TestNetworkSvg:
+    def test_renders_nodes_and_links(self):
+        rng = random.Random(6)
+        net = random_connected_network(20, 6.0, rng)
+        svg = network_svg(net, forward_nodes={0, 1}, source=2, title="t")
+        assert svg.startswith("<svg")
+        assert svg.count("<circle") == 20
+        assert svg.count("<line") == net.link_count
+        assert 'class="source"' in svg
+        assert 'class="forward"' in svg
+
+    def test_labels_optional(self):
+        rng = random.Random(7)
+        net = random_connected_network(10, 4.0, rng)
+        assert "<text class=\"label\"" not in network_svg(net)
+        assert "<text class=\"label\"" in network_svg(net, labels=True)
+
+    def test_title_rendered(self):
+        rng = random.Random(8)
+        net = random_connected_network(10, 4.0, rng)
+        assert "hello" in network_svg(net, title="hello")
+
+
+class TestChartSvg:
+    def test_renders_series_and_legend(self):
+        from repro.viz.chart_svg import chart_svg
+
+        svg = chart_svg(_table())
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "polyline" in svg
+        assert ">A</text>" in svg  # legend entry
+        assert "chart" in svg      # title
+
+    def test_empty_table(self):
+        from repro.metrics.results import ResultTable
+        from repro.viz.chart_svg import chart_svg
+
+        empty = ResultTable(title="none", x_label="n", y_label="y")
+        assert "(no data)" in chart_svg(empty)
+
+    def test_minimum_size(self):
+        from repro.viz.chart_svg import chart_svg
+
+        import pytest
+        with pytest.raises(ValueError):
+            chart_svg(_table(), width=10, height=10)
+
+    def test_nice_ticks(self):
+        from repro.viz.chart_svg import _nice_ticks
+
+        ticks = _nice_ticks(0, 100)
+        assert ticks[0] <= 0 and ticks[-1] >= 99
+        assert len(ticks) >= 3
+        assert _nice_ticks(5, 5) == [5]
