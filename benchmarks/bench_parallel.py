@@ -1,0 +1,136 @@
+"""Parallel harness benchmark: serial vs. parallel wall-clock on a
+Fig. 11-sized sweep, plus the byte-identity check that guards the
+determinism contract.
+
+Run directly for the full record (written to ``BENCH_parallel.json`` at
+the repo root so the perf trajectory is tracked across PRs)::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py
+    PYTHONPATH=src python benchmarks/bench_parallel.py --smoke
+    PYTHONPATH=src python benchmarks/bench_parallel.py --jobs 8 --out my.json
+
+``--smoke`` shrinks the sweep to seconds and exits non-zero if the
+parallel tables diverge from serial in any byte — the CI regression
+gate.  The module also exposes a pytest-benchmark entry so the figure
+benchmark suite picks the comparison up.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import List, Optional
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"),
+)
+
+from repro.experiments.config import RunSettings
+from repro.experiments.export import tables_to_json
+from repro.experiments.figures import fig11_selection
+from repro.experiments.runner import run_figure
+
+#: Default output location: repo root, next to EXPERIMENTS.md.
+DEFAULT_OUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_parallel.json",
+)
+
+FULL_NS = (20, 40, 60, 80, 100)
+SMOKE_NS = (15, 20)
+
+
+def _settings(jobs: int, smoke: bool) -> RunSettings:
+    if smoke:
+        return RunSettings(
+            min_runs=4, max_runs=6, relative_half_width=0.5,
+            seed=20030519, jobs=jobs,
+        )
+    return RunSettings(
+        min_runs=10, max_runs=25, relative_half_width=0.02,
+        seed=20030519, jobs=jobs,
+    )
+
+
+def run_comparison(jobs: int, smoke: bool) -> dict:
+    """Time the same Fig. 11 sweep serially and at ``jobs`` workers."""
+    ns = SMOKE_NS if smoke else FULL_NS
+    figure = fig11_selection(ns=ns)
+    point_count = sum(len(panel.series) * len(panel.ns) for panel in figure.panels)
+
+    start = time.perf_counter()
+    serial_tables = run_figure(figure, _settings(1, smoke))
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel_tables = run_figure(figure, _settings(jobs, smoke))
+    parallel_seconds = time.perf_counter() - start
+
+    serial_payload = tables_to_json(serial_tables)
+    parallel_payload = tables_to_json(parallel_tables)
+    return {
+        "benchmark": "bench_parallel",
+        "figure": "fig11",
+        "mode": "smoke" if smoke else "full",
+        "point_count": point_count,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "speedup": round(serial_seconds / parallel_seconds, 3)
+        if parallel_seconds
+        else None,
+        "byte_identical": serial_payload == parallel_payload,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Serial vs parallel figure sweep benchmark."
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=0,
+        help="worker count for the parallel leg (0 = all cores)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny sweep; non-zero exit if parallel diverges from serial",
+    )
+    parser.add_argument(
+        "--out", default=DEFAULT_OUT,
+        help="where to write the JSON record (default: BENCH_parallel.json)",
+    )
+    args = parser.parse_args(argv)
+    jobs = args.jobs or (os.cpu_count() or 1)
+    if jobs < 2:
+        jobs = 2  # always exercise the pool, even on one core
+
+    record = run_comparison(jobs, args.smoke)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(record, indent=2))
+    print(f"wrote {args.out}", file=sys.stderr)
+    if not record["byte_identical"]:
+        print(
+            "FAIL: parallel results diverge from serial", file=sys.stderr
+        )
+        return 1
+    return 0
+
+
+def test_parallel_matches_serial(benchmark, tmp_path):
+    """pytest-benchmark entry: the smoke comparison must stay identical."""
+    record = benchmark.pedantic(
+        lambda: run_comparison(jobs=2, smoke=True), rounds=1, iterations=1
+    )
+    assert record["byte_identical"], record
+    assert record["point_count"] == 2 * 4 * len(SMOKE_NS)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,30 @@ __all__ = [
 ]
 
 
+def _memo(view: View, key, compute):
+    """Per-view memoisation for the coverage hot path.
+
+    Views are immutable value objects, so any derived quantity — the
+    higher-priority DSU, component membership, neighbor reach — is stable
+    for the view's lifetime and can be shared between
+    :func:`uncovered_pairs`, :func:`coverage_condition`, and
+    :func:`strong_coverage_condition` instead of being recomputed per
+    call.  The cache rides on the view instance itself (``with_status``
+    and every view constructor return fresh instances, so a state change
+    never sees a stale cache).
+    """
+    try:
+        cache = view._coverage_memo  # type: ignore[attr-defined]
+    except AttributeError:
+        cache = {}
+        # View is a frozen dataclass; attach the cache without tripping
+        # its immutability guard.
+        object.__setattr__(view, "_coverage_memo", cache)
+    if key not in cache:
+        cache[key] = compute()
+    return cache[key]
+
+
 def _higher_priority_nodes(view: View, v: int) -> Set[int]:
     """Visible nodes other than ``v`` with priority above ``Pr(v)``."""
     threshold = view.priority(v)
@@ -54,7 +78,16 @@ def higher_priority_components(view: View, v: int) -> List[Set[int]]:
     with priority above ``Pr(v)``; when ``view.visited_connected`` holds,
     all visited nodes are additionally fused into one component (they are
     all connected through the source even if the view cannot see how).
+
+    The result is memoised per ``(view, v)`` and shared by every coverage
+    predicate; treat the returned sets as read-only.
     """
+    return _memo(
+        view, ("components", v), lambda: _components_compute(view, v)
+    )
+
+
+def _components_compute(view: View, v: int) -> List[Set[int]]:
     eligible = _higher_priority_nodes(view, v)
     dsu = DisjointSet(eligible)
     for node in eligible:
@@ -76,8 +109,16 @@ def _component_reach(view: View, v: int) -> Tuple[List[Set[int]], Dict[int, Set[
     A replacement path for the pair ``(u, w)`` exists exactly when its
     intermediates lie inside one such component adjacent to both ends, so
     the pair is replaceable iff ``reach[u] ∩ reach[w]`` is non-empty (or
-    the direct edge exists).
+    the direct edge exists).  Memoised per ``(view, v)``.
     """
+    return _memo(
+        view, ("reach", v), lambda: _component_reach_compute(view, v)
+    )
+
+
+def _component_reach_compute(
+    view: View, v: int
+) -> Tuple[List[Set[int]], Dict[int, Set[int]]]:
     components = higher_priority_components(view, v)
     membership: Dict[int, int] = {}
     for index, component in enumerate(components):
@@ -99,10 +140,17 @@ def uncovered_pairs(view: View, v: int) -> List[Tuple[int, int]]:
     """Neighbor pairs of ``v`` lacking a replacement path.
 
     The coverage condition holds exactly when this list is empty.  Exposed
-    for diagnostics, tests, and the example walkthroughs.
+    for diagnostics, tests, and the example walkthroughs.  Memoised per
+    ``(view, v)``.
     """
     if v not in view.graph:
         raise KeyError(f"node {v} not visible in the view")
+    return _memo(
+        view, ("uncovered", v), lambda: _uncovered_pairs_compute(view, v)
+    )
+
+
+def _uncovered_pairs_compute(view: View, v: int) -> List[Tuple[int, int]]:
     neighbors = sorted(view.graph.neighbors(v))
     _components, reach = _component_reach(view, v)
     failing: List[Tuple[int, int]] = []

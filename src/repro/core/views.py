@@ -115,9 +115,17 @@ class View:
 
 
 def _restrict_metrics(
-    all_metrics: Mapping[int, Tuple[float, ...]], visible: Iterable[int]
+    all_metrics: Mapping[int, Tuple[float, ...]],
+    visible: Iterable[int],
+    padding: Tuple[float, ...],
 ) -> Dict[int, Tuple[float, ...]]:
-    return {node: all_metrics[node] for node in visible}
+    """Restrict a metrics table to the visible nodes.
+
+    A visible node absent from the table — possible when mobility grows
+    the topology after the table was snapshotted — falls back to the
+    scheme's padding, i.e. the lowest advertisable metric.
+    """
+    return {node: all_metrics.get(node, padding) for node in visible}
 
 
 def _restrict_status(
@@ -178,7 +186,7 @@ def local_view(
     return View(
         graph=view_graph,
         status=_restrict_status(visited, designated, visible),
-        metrics=_restrict_metrics(table, visible),
+        metrics=_restrict_metrics(table, visible, scheme.padding()),
         metric_padding=scheme.padding(),
     )
 
@@ -189,6 +197,11 @@ def super_view(views: Iterable[View]) -> View:
     ``View_super = (∪ G_i, max_i Pr_i)`` — used by tests to validate that a
     node non-forward under its own local view stays non-forward under the
     collective view.
+
+    The per-node priority is the maximum full key ``(S, metric..., id)``
+    over all views the node is visible in (Theorem 2's component-wise max
+    of the priority vector); the lexicographic maximum carries the highest
+    status, because ``S`` leads the key.
     """
     views = list(views)
     if not views:
@@ -197,15 +210,20 @@ def super_view(views: Iterable[View]) -> View:
     status: Dict[int, float] = {}
     padding = views[0].metric_padding
     metrics: Dict[int, Tuple[float, ...]] = {}
+    best: Dict[int, PriorityKey] = {}
     for view in views:
         if view.metric_padding != padding:
             raise ValueError("views use different priority schemes")
         for node in view.graph.nodes():
             union.add_node(node)
-            status[node] = max(status.get(node, st.INVISIBLE), view.status_of(node))
-            metrics.setdefault(node, view.metrics.get(node, padding))
+            key = view.priority(node)
+            if node not in best or key > best[node]:
+                best[node] = key
         for u, v in view.graph.edges():
             union.add_edge(u, v)
+    for node, key in best.items():
+        status[node] = key[0]
+        metrics[node] = tuple(key[1:-1])
     return View(
         graph=union,
         status=status,

@@ -18,7 +18,14 @@ from .report import (
     run_and_format_figure,
     run_fig9_sample,
 )
-from .runner import CoverageViolation, measure_point, run_figure, run_panel
+from .runner import (
+    CoverageViolation,
+    measure_point,
+    point_seed,
+    run_figure,
+    run_panel,
+)
+from .parallel import PointFailure, run_figure_parallel, run_panel_parallel
 from .overhead import (
     OverheadPoint,
     crossover_broadcasts,
@@ -52,6 +59,10 @@ __all__ = [
     "WorkloadResult",
     "CoverageViolation",
     "measure_point",
+    "point_seed",
     "run_figure",
     "run_panel",
+    "PointFailure",
+    "run_figure_parallel",
+    "run_panel_parallel",
 ]

@@ -55,6 +55,12 @@ class RunSettings:
     The paper's rule is ``confidence=0.90, relative_half_width=0.01`` with
     effectively unbounded runs; benchmarks lower ``max_runs`` so the suite
     finishes quickly.  ``seed`` makes the whole sweep reproducible.
+
+    ``jobs`` selects the measurement backend: 1 (the default) runs points
+    serially in-process; N > 1 fans the ``(series, n)`` points out over a
+    pool of N worker processes.  Because every point derives its RNG from
+    a per-point digest (:func:`repro.experiments.runner.point_seed`),
+    results are byte-identical at any ``jobs`` value.
     """
 
     confidence: float = 0.90
@@ -63,3 +69,8 @@ class RunSettings:
     max_runs: int = 200
     seed: int = 20030519  # ICDCS 2003 presentation date
     check_coverage: bool = True
+    jobs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {self.jobs}")

@@ -1,0 +1,266 @@
+"""Process-parallel experiment harness.
+
+Figure sweeps repeat every ``(protocol, n, d)`` point until the paper's
+90%-confidence ±1% stopping rule is met; the points are mutually
+independent, so they fan out over a ``multiprocessing`` pool.  Three
+properties make the pool safe to use for reproduction work:
+
+* **Order-independent determinism** — every point seeds its own
+  ``random.Random`` from a ``sha256(seed|panel|label|n|degree)`` digest
+  (:func:`repro.experiments.runner.point_seed`), so the assembled
+  :class:`~repro.metrics.results.ResultTable` is byte-identical at any
+  worker count, including the ``jobs=1`` in-process serial fallback.
+* **Crash recovery** — a point whose worker raises (or whose worker
+  process dies, breaking the pool) is re-dispatched once, serially in the
+  parent; a second failure surfaces as a structured
+  :class:`PointFailure` naming the panel, series, n, and degree.
+* **Pickle-safe progress** — workers only ship ``(task, DataPoint)``
+  tuples of plain ints and floats back to the parent; the parent renders
+  progress messages and invokes the (unpicklable) callback itself.
+
+Worker processes are created with the ``fork`` start method: protocol
+factories in :class:`~repro.experiments.config.SeriesSpec` are typically
+lambdas, which cannot be pickled but are inherited through ``fork`` for
+free.  On platforms without ``fork`` the harness degrades to the serial
+path (reporting so through the progress callback) rather than failing.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..metrics.results import DataPoint, ResultTable, Series
+from .config import FigureSpec, PanelSpec, RunSettings
+from .runner import measure_point, point_seed
+
+__all__ = [
+    "PointFailure",
+    "run_panel_parallel",
+    "run_figure_parallel",
+]
+
+#: One unit of work: indices into the panel list and its series, plus n.
+#: Kept as a plain tuple so it crosses the process boundary trivially.
+_Task = Tuple[int, int, int]
+
+
+class PointFailure(RuntimeError):
+    """A measurement point failed twice (original dispatch plus one retry).
+
+    Carries enough structure to re-run the point by hand; the underlying
+    exception is chained as ``__cause__`` and its traceback preserved in
+    :attr:`worker_traceback`.
+    """
+
+    def __init__(
+        self,
+        panel_title: str,
+        label: str,
+        n: int,
+        degree: float,
+        worker_traceback: str,
+    ) -> None:
+        super().__init__(
+            f"point ({label}, n={n}, d={degree:g}) of panel "
+            f"{panel_title!r} failed after retry"
+        )
+        self.panel_title = panel_title
+        self.label = label
+        self.n = n
+        self.degree = degree
+        self.worker_traceback = worker_traceback
+
+
+# Worker-side state, installed by the pool initializer.  Under the fork
+# start method the initializer arguments are inherited, never pickled, so
+# panels may hold lambda protocol factories.
+_WORKER_PANELS: Optional[Sequence[PanelSpec]] = None
+_WORKER_SETTINGS: Optional[RunSettings] = None
+
+
+def _init_worker(panels: Sequence[PanelSpec], settings: RunSettings) -> None:
+    global _WORKER_PANELS, _WORKER_SETTINGS
+    _WORKER_PANELS = panels
+    _WORKER_SETTINGS = settings
+
+
+def _measure_task(
+    task: _Task, panels: Sequence[PanelSpec], settings: RunSettings
+) -> DataPoint:
+    """Measure one point — the same code path in workers and the parent."""
+    panel_index, series_index, n = task
+    panel = panels[panel_index]
+    spec = panel.series[series_index]
+    rng = random.Random(
+        point_seed(settings.seed, panel.title, spec.label, n, panel.degree)
+    )
+    return measure_point(spec, n, panel.degree, settings, rng)
+
+
+def _worker_measure(task: _Task) -> Tuple[_Task, DataPoint]:
+    assert _WORKER_PANELS is not None and _WORKER_SETTINGS is not None
+    return task, _measure_task(task, _WORKER_PANELS, _WORKER_SETTINGS)
+
+
+def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+
+
+def _progress_message(
+    panel: PanelSpec, series_index: int, n: int, point: DataPoint
+) -> str:
+    spec = panel.series[series_index]
+    return (
+        f"{panel.title} / {spec.label}: n={n} "
+        f"mean={point.mean:.2f} (+-{point.half_width:.2f}, "
+        f"{point.samples} runs)"
+    )
+
+
+def _retry_serially(
+    task: _Task,
+    panels: Sequence[PanelSpec],
+    settings: RunSettings,
+    first_error: BaseException,
+) -> DataPoint:
+    """Second (and last) dispatch of a failed point, in the parent."""
+    try:
+        return _measure_task(task, panels, settings)
+    except Exception as exc:
+        panel_index, series_index, n = task
+        panel = panels[panel_index]
+        raise PointFailure(
+            panel_title=panel.title,
+            label=panel.series[series_index].label,
+            n=n,
+            degree=panel.degree,
+            worker_traceback="".join(
+                traceback.format_exception(
+                    type(first_error), first_error, first_error.__traceback__
+                )
+            ),
+        ) from exc
+
+
+def _measure_points(
+    panels: Sequence[PanelSpec],
+    settings: RunSettings,
+    progress: Optional[Callable[[str], None]],
+) -> Dict[_Task, DataPoint]:
+    """Measure every point of every panel, possibly in parallel.
+
+    Returns a task-to-point mapping; table assembly afterwards follows
+    spec order, so completion order never leaks into results.
+    """
+    tasks: List[_Task] = [
+        (panel_index, series_index, n)
+        for panel_index, panel in enumerate(panels)
+        for series_index in range(len(panel.series))
+        for n in panel.ns
+    ]
+    results: Dict[_Task, DataPoint] = {}
+
+    context = _fork_context() if settings.jobs > 1 else None
+    if context is None:
+        if settings.jobs > 1 and progress is not None:
+            progress("fork start method unavailable; running points serially")
+        for task in tasks:
+            results[task] = _measure_task(task, panels, settings)
+            if progress is not None:
+                panel_index, series_index, n = task
+                progress(
+                    _progress_message(
+                        panels[panel_index], series_index, n, results[task]
+                    )
+                )
+        return results
+
+    workers = min(settings.jobs, len(tasks)) or 1
+    failed_once: List[Tuple[_Task, BaseException]] = []
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=context,
+        initializer=_init_worker,
+        initargs=(panels, settings),
+    ) as pool:
+        pending = {pool.submit(_worker_measure, task): task for task in tasks}
+        while pending:
+            done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
+            for future in done:
+                task = pending.pop(future)
+                error = future.exception()
+                if error is not None:
+                    # First failure (including a broken pool, which fails
+                    # every pending future): queue the single retry.
+                    failed_once.append((task, error))
+                    continue
+                returned_task, point = future.result()
+                results[returned_task] = point
+                if progress is not None:
+                    panel_index, series_index, n = returned_task
+                    progress(
+                        _progress_message(
+                            panels[panel_index], series_index, n, point
+                        )
+                    )
+    for task, error in failed_once:
+        point = _retry_serially(task, panels, settings, error)
+        results[task] = point
+        if progress is not None:
+            panel_index, series_index, n = task
+            progress(
+                _progress_message(panels[panel_index], series_index, n, point)
+                + " [re-dispatched]"
+            )
+    return results
+
+
+def _assemble_tables(
+    panels: Sequence[PanelSpec], results: Dict[_Task, DataPoint]
+) -> List[ResultTable]:
+    tables: List[ResultTable] = []
+    for panel_index, panel in enumerate(panels):
+        table = ResultTable(
+            title=panel.title, x_label="n", y_label="forward nodes"
+        )
+        for series_index, spec in enumerate(panel.series):
+            series = Series(label=spec.label)
+            for n in panel.ns:
+                series.add(results[(panel_index, series_index, n)])
+            table.add_series(series)
+        tables.append(table)
+    return tables
+
+
+def run_panel_parallel(
+    panel: PanelSpec,
+    settings: RunSettings,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ResultTable:
+    """Run one panel with its points fanned out over ``settings.jobs``
+    worker processes; byte-identical to the serial run."""
+    results = _measure_points([panel], settings, progress)
+    return _assemble_tables([panel], results)[0]
+
+
+def run_figure_parallel(
+    figure: FigureSpec,
+    settings: RunSettings,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[ResultTable]:
+    """Run a whole figure over one shared worker pool.
+
+    All panels' points enter the same queue, so a slow panel cannot
+    serialise the sweep; tables come back in panel order regardless of
+    completion order.
+    """
+    results = _measure_points(list(figure.panels), settings, progress)
+    return _assemble_tables(list(figure.panels), results)

@@ -24,11 +24,34 @@ from ..metrics.stats import repeat_until_confident
 from ..sim.engine import BroadcastSession, SimulationEnvironment
 from .config import FigureSpec, PanelSpec, RunSettings, SeriesSpec
 
-__all__ = ["CoverageViolation", "measure_point", "run_panel", "run_figure"]
+__all__ = [
+    "CoverageViolation",
+    "point_seed",
+    "measure_point",
+    "run_panel",
+    "run_figure",
+]
 
 
 class CoverageViolation(AssertionError):
     """A broadcast failed to reach every node under an ideal MAC."""
+
+
+def point_seed(
+    seed: int, panel_title: str, label: str, n: int, degree: float
+) -> int:
+    """The deterministic RNG seed of one ``(panel, series, n, d)`` point.
+
+    Every measurement point draws from its own ``random.Random`` seeded by
+    a ``sha256(seed|panel|label|n|degree)`` digest (hashlib, not the salted
+    built-in ``hash``), so results are bit-identical no matter which
+    process measures the point, in what order, or at what worker count —
+    the determinism contract of the parallel harness.
+    """
+    digest = hashlib.sha256(
+        f"{seed}|{panel_title}|{label}|{n}|{degree!r}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 def _one_sample(
@@ -61,8 +84,15 @@ def measure_point(
     settings: RunSettings,
     rng: Optional[random.Random] = None,
 ) -> DataPoint:
-    """Measure one (algorithm, n, d) point under the stopping rule."""
-    rng = rng or random.Random(settings.seed)
+    """Measure one (algorithm, n, d) point under the stopping rule.
+
+    Without an explicit ``rng`` the fallback is derived from a
+    ``(seed, label, n, degree)`` digest, so two different points measured
+    back-to-back never replay the same sample stream (a bare
+    ``Random(settings.seed)`` would correlate every point).
+    """
+    if rng is None:
+        rng = random.Random(point_seed(settings.seed, "", spec.label, n, degree))
     result = repeat_until_confident(
         lambda: _one_sample(spec, n, degree, rng, settings.check_coverage),
         confidence=settings.confidence,
@@ -83,7 +113,16 @@ def run_panel(
     settings: RunSettings,
     progress: Optional[Callable[[str], None]] = None,
 ) -> ResultTable:
-    """Run every series of a panel over its node-count sweep."""
+    """Run every series of a panel over its node-count sweep.
+
+    With ``settings.jobs > 1`` the points fan out over a process pool;
+    the result is byte-identical to the serial run because every point
+    seeds its own RNG via :func:`point_seed`.
+    """
+    if settings.jobs > 1:
+        from .parallel import run_panel_parallel
+
+        return run_panel_parallel(panel, settings, progress)
     table = ResultTable(
         title=panel.title,
         x_label="n",
@@ -91,13 +130,13 @@ def run_panel(
     )
     for spec in panel.series:
         series = Series(label=spec.label)
-        # One RNG per series keeps series independent yet reproducible
-        # across processes (hashlib, not the salted built-in hash).
-        digest = hashlib.sha256(
-            f"{settings.seed}|{panel.title}|{spec.label}".encode()
-        ).digest()
-        rng = random.Random(int.from_bytes(digest[:8], "big"))
         for n in panel.ns:
+            # One RNG per point keeps every (series, n) measurement
+            # independent and order-agnostic — the same seeds the
+            # parallel harness hands its workers.
+            rng = random.Random(
+                point_seed(settings.seed, panel.title, spec.label, n, panel.degree)
+            )
             point = measure_point(spec, n, panel.degree, settings, rng)
             series.add(point)
             if progress is not None:
@@ -115,6 +154,15 @@ def run_figure(
     settings: Optional[RunSettings] = None,
     progress: Optional[Callable[[str], None]] = None,
 ) -> List[ResultTable]:
-    """Run every panel of a figure."""
+    """Run every panel of a figure.
+
+    With ``settings.jobs > 1`` all points of all panels share one process
+    pool (see :mod:`repro.experiments.parallel`); output is byte-identical
+    to the serial run at any worker count.
+    """
     settings = settings or RunSettings()
+    if settings.jobs > 1:
+        from .parallel import run_figure_parallel
+
+        return run_figure_parallel(figure, settings, progress)
     return [run_panel(panel, settings, progress) for panel in figure.panels]

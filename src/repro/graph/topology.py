@@ -14,6 +14,15 @@ needs:
 
 The structure is deliberately small and dependency-free; tests validate it
 against networkx oracles.
+
+Traversal results (:meth:`Topology.bfs_distances`,
+:meth:`Topology.k_hop_view_graph`, :meth:`Topology.neighbors`, and the
+degree aggregates) are memoised behind a mutation-epoch counter: every
+structural change (``add_edge``, ``remove_edge``, ``add_node`` of a new
+node, ``remove_node``) bumps the epoch and lazily drops the cache, so
+mobility snapshots and incremental edits stay correct while repeated
+queries on a static deployment — the experiment hot path — are free after
+the first computation.
 """
 
 from __future__ import annotations
@@ -50,6 +59,11 @@ class Topology:
         edges: Iterable[Edge] = (),
     ) -> None:
         self._adj: Dict[int, Set[int]] = {}
+        #: Mutation epoch: bumped by every structural change so memoised
+        #: query results can be dropped lazily (see :meth:`_cached`).
+        self._epoch: int = 0
+        self._cache_epoch: int = 0
+        self._query_cache: Dict[Tuple, object] = {}
         for node in nodes:
             self.add_node(node)
         for u, v in edges:
@@ -61,7 +75,9 @@ class Topology:
 
     def add_node(self, node: int) -> None:
         """Add ``node`` if not already present."""
-        self._adj.setdefault(node, set())
+        if node not in self._adj:
+            self._adj[node] = set()
+            self._epoch += 1
 
     def add_edge(self, u: int, v: int) -> None:
         """Add the undirected edge ``{u, v}``, creating endpoints as needed."""
@@ -69,8 +85,10 @@ class Topology:
             raise ValueError(f"self-loop on node {u} is not allowed")
         self.add_node(u)
         self.add_node(v)
-        self._adj[u].add(v)
-        self._adj[v].add(u)
+        if v not in self._adj[u]:
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+            self._epoch += 1
 
     def remove_edge(self, u: int, v: int) -> None:
         """Remove the undirected edge ``{u, v}``; raise if absent."""
@@ -79,6 +97,7 @@ class Topology:
             self._adj[v].remove(u)
         except KeyError as exc:
             raise KeyError(f"edge ({u}, {v}) not in graph") from exc
+        self._epoch += 1
 
     def remove_node(self, node: int) -> None:
         """Remove ``node`` and all incident edges; raise if absent."""
@@ -87,12 +106,31 @@ class Topology:
         for neighbor in self._adj[node]:
             self._adj[neighbor].discard(node)
         del self._adj[node]
+        self._epoch += 1
 
     def copy(self) -> "Topology":
-        """An independent copy of the graph."""
+        """An independent copy of the graph (caches are not shared)."""
         clone = Topology()
         clone._adj = {node: set(nbrs) for node, nbrs in self._adj.items()}
         return clone
+
+    # ------------------------------------------------------------------
+    # Query memoisation
+    # ------------------------------------------------------------------
+
+    def _cached(self, key: Tuple, compute):
+        """Return ``compute()`` memoised under ``key`` for the current epoch.
+
+        The cache is cleared lazily on first access after any mutation, so
+        mutators stay O(1) and a burst of edits costs one invalidation.
+        """
+        if self._cache_epoch != self._epoch:
+            self._query_cache.clear()
+            self._cache_epoch = self._epoch
+        cache = self._query_cache
+        if key not in cache:
+            cache[key] = compute()
+        return cache[key]
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -143,11 +181,12 @@ class Topology:
         return v in self._adj.get(u, ())
 
     def neighbors(self, node: int) -> FrozenSet[int]:
-        """The open neighbor set ``N(node)``."""
-        try:
-            return frozenset(self._adj[node])
-        except KeyError as exc:
-            raise KeyError(f"node {node} not in graph") from exc
+        """The open neighbor set ``N(node)`` (memoised per epoch)."""
+        if node not in self._adj:
+            raise KeyError(f"node {node} not in graph")
+        return self._cached(
+            ("neighbors", node), lambda: frozenset(self._adj[node])
+        )
 
     def closed_neighbors(self, node: int) -> FrozenSet[int]:
         """The closed neighbor set ``N[node] = N(node) ∪ {node}``."""
@@ -167,10 +206,13 @@ class Topology:
         return 2.0 * self.edge_count() / self.node_count()
 
     def max_degree(self) -> int:
-        """Largest degree; 0 on an empty graph."""
+        """Largest degree; 0 on an empty graph (memoised per epoch)."""
         if not self._adj:
             return 0
-        return max(len(nbrs) for nbrs in self._adj.values())
+        return self._cached(
+            ("max_degree",),
+            lambda: max(len(nbrs) for nbrs in self._adj.values()),
+        )
 
     def is_complete(self) -> bool:
         """Whether every pair of distinct nodes is adjacent."""
@@ -187,10 +229,25 @@ class Topology:
         """Hop distances from ``source`` to every reachable node.
 
         With ``max_hops`` the search is truncated at that radius, which is
-        how k-hop neighborhoods are computed.
+        how k-hop neighborhoods are computed.  Memoised per epoch; the
+        returned dict is a private copy the caller may mutate.
         """
+        return dict(self._bfs_distances_cached(source, max_hops))
+
+    def _bfs_distances_cached(
+        self, source: int, max_hops: Optional[int]
+    ) -> Dict[int, int]:
+        """The shared memoised BFS result — callers must not mutate it."""
         if source not in self._adj:
             raise KeyError(f"node {source} not in graph")
+        return self._cached(
+            ("bfs", source, max_hops),
+            lambda: self._bfs_distances_compute(source, max_hops),
+        )
+
+    def _bfs_distances_compute(
+        self, source: int, max_hops: Optional[int]
+    ) -> Dict[int, int]:
         distances: Dict[int, int] = {source: 0}
         frontier = deque([source])
         while frontier:
@@ -239,7 +296,7 @@ class Topology:
 
     def eccentricity(self, node: int) -> int:
         """Largest hop distance from ``node`` to any reachable node."""
-        return max(self.bfs_distances(node).values())
+        return max(self._bfs_distances_cached(node, None).values())
 
     def diameter(self) -> int:
         """Largest eccentricity over all nodes (graph must be connected)."""
@@ -252,7 +309,7 @@ class Topology:
         if not self._adj:
             return True
         first = next(iter(self._adj))
-        return len(self.bfs_distances(first)) == len(self._adj)
+        return len(self._bfs_distances_cached(first, None)) == len(self._adj)
 
     def connected_components(self) -> List[Set[int]]:
         """All connected components as node sets."""
@@ -261,7 +318,7 @@ class Topology:
         for node in self._adj:
             if node in seen:
                 continue
-            component = set(self.bfs_distances(node))
+            component = set(self._bfs_distances_cached(node, None))
             seen |= component
             components.append(component)
         return components
@@ -367,7 +424,7 @@ class Topology:
         """
         if k < 0:
             raise ValueError(f"k must be non-negative, got {k}")
-        return set(self.bfs_distances(node, max_hops=k))
+        return set(self._bfs_distances_cached(node, k))
 
     def k_hop_view_graph(self, node: int, k: int) -> "Topology":
         """The maximum subgraph derivable from k-hop information.
@@ -376,10 +433,19 @@ class Topology:
         ``E_k(v) = E ∩ (N_{k-1}(v) x N_k(v))``: links between two nodes that
         are both exactly ``k`` hops away from ``v`` are invisible, because
         they were never reported in only ``k`` rounds of "hello" exchanges.
+
+        Memoised per epoch; the returned view graph is shared between
+        callers and must be treated as a read-only snapshot.
         """
         if k < 0:
             raise ValueError(f"k must be non-negative, got {k}")
-        distances = self.bfs_distances(node, max_hops=k)
+        return self._cached(
+            ("view_graph", node, k),
+            lambda: self._k_hop_view_graph_compute(node, k),
+        )
+
+    def _k_hop_view_graph_compute(self, node: int, k: int) -> "Topology":
+        distances = self._bfs_distances_cached(node, k)
         view = Topology(nodes=distances)
         for u, hops_u in distances.items():
             if hops_u >= k:

@@ -103,3 +103,64 @@ class TestSuperView:
         b = local_view(chain, 0, 1, DegreePriority())
         with pytest.raises(ValueError):
             super_view([a, b])
+
+    def test_max_metric_wins_regardless_of_view_order(self, chain):
+        """Theorem 2: the super view takes the max (S, metric..., id) key.
+
+        Two views advertise different metrics for the same node; the
+        merged priority must be the maximum in either iteration order
+        (the old ``setdefault`` merge kept whichever view came first).
+        """
+        graph = Topology(nodes=[1], edges=[])
+        low = View(
+            graph=graph, metrics={1: (1.0,)}, metric_padding=(0.0,)
+        )
+        high = View(
+            graph=graph, metrics={1: (5.0,)}, metric_padding=(0.0,)
+        )
+        for ordering in ([low, high], [high, low]):
+            merged = super_view(ordering)
+            assert merged.metrics[1] == (5.0,)
+            assert merged.priority(1) == high.priority(1)
+
+    def test_super_priority_upper_bounds_every_view(self, chain):
+        """Every node's merged key dominates its key under each input view."""
+        a = local_view(chain, 0, 2, DegreePriority(), visited={1})
+        b = local_view(chain, 3, 2, DegreePriority(), designated={3})
+        merged = super_view([a, b])
+        for node in merged.graph.nodes():
+            assert merged.priority(node) >= a.priority(node)
+            assert merged.priority(node) >= b.priority(node)
+
+    def test_status_and_metric_max_come_from_max_key(self, chain):
+        """A visited low-metric sighting beats an unvisited high-metric one."""
+        graph = Topology(nodes=[1], edges=[])
+        visited_low = View(
+            graph=graph,
+            status={1: st.VISITED},
+            metrics={1: (1.0,)},
+            metric_padding=(0.0,),
+        )
+        unvisited_high = View(
+            graph=graph, metrics={1: (5.0,)}, metric_padding=(0.0,)
+        )
+        merged = super_view([unvisited_high, visited_low])
+        assert merged.is_visited(1)
+        # The key is lexicographic: status leads, so the visited view's
+        # metrics ride along with its higher status.
+        assert merged.metrics[1] == (1.0,)
+
+
+class TestStaleMetricsTable:
+    """Mobility can grow the topology after ``scheme.metrics()`` snapshots."""
+
+    def test_local_view_pads_unknown_nodes(self, chain):
+        scheme = DegreePriority()
+        table = scheme.metrics(chain)  # snapshot before the topology grows
+        grown = chain.copy()
+        grown.add_edge(5, 6)  # node 6 joined after the snapshot
+        view = local_view(grown, 5, 2, scheme, metrics=table)
+        assert view.metrics[6] == scheme.padding()
+        assert view.metrics[5] == table[5]
+        # The newcomer still ranks above invisible nodes (status beats id).
+        assert view.priority(6) > view.priority(99)

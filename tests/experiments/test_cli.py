@@ -38,6 +38,18 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["fig99"])
 
+    def test_jobs_flag_matches_serial_output(self, capsys):
+        argv = [
+            "fig16", "--quick", "--ns", "15",
+            "--min-runs", "3", "--max-runs", "4",
+            "--no-charts", "--format", "json",
+        ]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert main([*argv, "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
 
 class TestCliChartDir:
     def test_chart_svgs_written(self, capsys, tmp_path):

@@ -79,6 +79,24 @@ class TestRunner:
         b = run_panel(figure.panels[0], FAST)
         assert a.get_series("SBA").means() == b.get_series("SBA").means()
 
+    def test_default_rng_is_per_point_not_per_seed(self):
+        """Two points measured without an explicit RNG must not replay the
+        same sample stream (the old fallback reused ``Random(seed)``)."""
+        figure = FIGURE_BUILDERS["fig16"](ns=[15], degrees=[6.0])
+        sba, generic = figure.panels[0].series
+        # Same protocol family, same n and d, different labels: under the
+        # old fallback both would sample identical deployments.
+        from repro.experiments.config import SeriesSpec
+
+        first = SeriesSpec("alpha", generic.protocol_factory)
+        second = SeriesSpec("beta", generic.protocol_factory)
+        a = measure_point(first, 20, 6.0, FAST)
+        b = measure_point(second, 20, 6.0, FAST)
+        assert (a.mean, a.half_width) != (b.mean, b.half_width)
+        # ... while the same point stays deterministic.
+        again = measure_point(first, 20, 6.0, FAST)
+        assert (a.mean, a.half_width) == (again.mean, again.half_width)
+
 
 class TestReports:
     def test_table1_text(self):

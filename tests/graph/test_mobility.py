@@ -110,3 +110,27 @@ class TestRandomWaypoint:
         model.advance(2.5)
         model.advance(0.5)
         assert model.time == pytest.approx(3.0)
+
+
+class TestMobilityStaleMetrics:
+    """Local views must survive a topology that grew after the metrics
+    snapshot — the mobility path that used to raise a bare ``KeyError``
+    in ``_restrict_metrics``."""
+
+    def test_local_view_on_grown_snapshot(self):
+        from repro.core.priority import DegreePriority
+        from repro.core.views import local_view
+
+        model = _model()
+        first = model.snapshot().topology
+        scheme = DegreePriority()
+        table = scheme.metrics(first)  # hello-round snapshot of metrics
+        model.advance(5.0)
+        second = model.snapshot().topology
+        # A node joins the network between hello rounds: no metrics entry.
+        newcomer = max(second.nodes()) + 1
+        second.add_edge(newcomer, next(iter(second.nodes())))
+        for center in second.nodes():
+            view = local_view(second, center, 2, scheme, metrics=table)
+            if newcomer in view.graph:
+                assert view.metrics[newcomer] == scheme.padding()
