@@ -52,11 +52,20 @@ from .graph.generators import (
 from .graph.cds import greedy_cds, is_cds, is_dominating_set
 from .graph.topology import Topology
 from .graph.unit_disk import UnitDiskGraph, build_unit_disk_graph
+from .instrument import InstrumentationCounters, collecting
 from .sim.engine import (
     BroadcastOutcome,
     BroadcastSession,
     SimulationEnvironment,
     run_broadcast,
+    session_seed,
+)
+from .sim.events import (
+    EventBus,
+    RecordingBus,
+    SimEvent,
+    events_from_jsonl,
+    events_to_jsonl,
 )
 from .algorithms import REGISTRY, Timing, create
 
@@ -93,6 +102,14 @@ __all__ = [
     "BroadcastSession",
     "SimulationEnvironment",
     "run_broadcast",
+    "session_seed",
+    "InstrumentationCounters",
+    "collecting",
+    "EventBus",
+    "RecordingBus",
+    "SimEvent",
+    "events_to_jsonl",
+    "events_from_jsonl",
     "REGISTRY",
     "Timing",
     "create",

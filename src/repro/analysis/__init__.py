@@ -1,7 +1,13 @@
 """Post-hoc analysis: decision explanations and broadcast trees."""
 
 from .broadcast_tree import BroadcastTree, build_broadcast_tree
-from .explain import DecisionExplanation, PairExplanation, explain_decision
+from .explain import (
+    DecisionExplanation,
+    PairExplanation,
+    decision_timeline,
+    explain_decision,
+    format_decision_timeline,
+)
 
 __all__ = [
     "BroadcastTree",
@@ -9,4 +15,6 @@ __all__ = [
     "DecisionExplanation",
     "PairExplanation",
     "explain_decision",
+    "decision_timeline",
+    "format_decision_timeline",
 ]

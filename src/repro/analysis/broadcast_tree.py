@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from ..sim.engine import BroadcastOutcome
+from ..sim.events import Deliver
 
 __all__ = ["BroadcastTree", "build_broadcast_tree"]
 
@@ -64,21 +65,24 @@ class BroadcastTree:
 
 
 def build_broadcast_tree(outcome: BroadcastOutcome) -> BroadcastTree:
-    """Reconstruct the first-delivery tree from a traced outcome.
+    """Reconstruct the first-delivery tree from a recorded outcome.
 
-    Requires the session to have been run with ``collect_trace=True``;
-    raises ``ValueError`` otherwise.
+    Consumes the typed :class:`~repro.sim.events.Deliver` events on
+    ``outcome.events``; requires the session to have been run with
+    ``collect_trace=True`` (or an explicit recording bus), and raises
+    ``ValueError`` otherwise.
     """
-    if outcome.trace is None:
+    if outcome.events is None:
         raise ValueError(
-            "broadcast tree needs a trace; run the session with "
+            "broadcast tree needs recorded events; run the session with "
             "collect_trace=True"
         )
     tree = BroadcastTree(root=outcome.source)
-    for event in outcome.trace.events("receive"):
+    for event in outcome.events:
+        if not isinstance(event, Deliver):
+            continue
         node = event.node
         if node == outcome.source or node in tree.parents:
             continue
-        sender = int(event.detail.split()[-1])
-        tree.parents[node] = sender
+        tree.parents[node] = event.sender
     return tree

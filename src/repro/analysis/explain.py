@@ -5,6 +5,11 @@ a view, report the uncovered neighbor pairs (if any), the replacement
 path MAX_MIN constructs for each covered pair, and which condition
 variants (generic / strong / Span) agree.  Used by the diagnosis example
 and handy when a new protocol misbehaves.
+
+The second half of the module reads *recorded executions*: given a
+:class:`~repro.sim.engine.BroadcastOutcome` with typed events on it,
+:func:`decision_timeline` lists every status decision in simulation
+order and :func:`format_decision_timeline` renders them for humans.
 """
 
 from __future__ import annotations
@@ -20,8 +25,16 @@ from ..core.coverage import (
 )
 from ..core.maxmin import max_min_path
 from ..core.views import View
+from ..sim.engine import BroadcastOutcome
+from ..sim.events import Decide
 
-__all__ = ["PairExplanation", "DecisionExplanation", "explain_decision"]
+__all__ = [
+    "PairExplanation",
+    "DecisionExplanation",
+    "explain_decision",
+    "decision_timeline",
+    "format_decision_timeline",
+]
 
 
 @dataclass(frozen=True)
@@ -106,3 +119,31 @@ def explain_decision(view: View, node: int) -> DecisionExplanation:
         span_non_forward=span_condition(view, node),
         pairs=pairs,
     )
+
+
+def decision_timeline(outcome: BroadcastOutcome) -> List[Decide]:
+    """All status decisions of a recorded broadcast, in simulation order.
+
+    Consumes the typed :class:`~repro.sim.events.Decide` events on
+    ``outcome.events``; requires the session to have been run with
+    ``collect_trace=True`` (or an explicit recording bus), and raises
+    ``ValueError`` otherwise.
+    """
+    if outcome.events is None:
+        raise ValueError(
+            "decision timeline needs recorded events; run the session "
+            "with collect_trace=True"
+        )
+    return [event for event in outcome.events if isinstance(event, Decide)]
+
+
+def format_decision_timeline(outcome: BroadcastOutcome) -> str:
+    """Render :func:`decision_timeline` as one line per decision."""
+    lines = []
+    for event in decision_timeline(outcome):
+        status = "forward" if event.forward else "non-forward"
+        qualifier = f" [{event.reason}]" if event.reason != "timer" else ""
+        lines.append(
+            f"[{event.time:8.3f}] node {event.node}: {status}{qualifier}"
+        )
+    return "\n".join(lines)

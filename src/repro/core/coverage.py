@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
+from ..instrument import _STACK as _COUNTER_STACK
 from .unionfind import DisjointSet
 from .views import View
 
@@ -57,7 +58,11 @@ def _memo(view: View, key, compute):
         # its immutability guard.
         object.__setattr__(view, "_coverage_memo", cache)
     if key not in cache:
+        if _COUNTER_STACK:
+            _COUNTER_STACK[-1].coverage_memo_misses += 1
         cache[key] = compute()
+    elif _COUNTER_STACK:
+        _COUNTER_STACK[-1].coverage_memo_hits += 1
     return cache[key]
 
 
@@ -88,6 +93,8 @@ def higher_priority_components(view: View, v: int) -> List[Set[int]]:
 
 
 def _components_compute(view: View, v: int) -> List[Set[int]]:
+    if _COUNTER_STACK:
+        _COUNTER_STACK[-1].component_decompositions += 1
     eligible = _higher_priority_nodes(view, v)
     dsu = DisjointSet(eligible)
     for node in eligible:
@@ -180,6 +187,8 @@ def coverage_condition(view: View, v: int) -> bool:
     is never needed to connect anything); the source still forwards
     unconditionally, so coverage is unaffected.
     """
+    if _COUNTER_STACK:
+        _COUNTER_STACK[-1].coverage_evaluations += 1
     return not uncovered_pairs(view, v)
 
 
@@ -191,6 +200,8 @@ def strong_coverage_condition(view: View, v: int) -> bool:
     """
     if v not in view.graph:
         raise KeyError(f"node {v} not visible in the view")
+    if _COUNTER_STACK:
+        _COUNTER_STACK[-1].coverage_evaluations += 1
     neighbors = view.graph.neighbors(v)
     if not neighbors:
         return True
@@ -222,6 +233,8 @@ def span_condition(view: View, v: int, max_intermediates: int = 2) -> bool:
         )
     if v not in view.graph:
         raise KeyError(f"node {v} not visible in the view")
+    if _COUNTER_STACK:
+        _COUNTER_STACK[-1].coverage_evaluations += 1
     neighbors = sorted(view.graph.neighbors(v))
     eligible = {
         node

@@ -14,9 +14,11 @@ from .figures import (
 from .report import (
     Fig9Result,
     format_fig9,
+    format_overhead_comparison,
     format_table1,
     run_and_format_figure,
     run_fig9_sample,
+    run_overhead_comparison,
 )
 from .runner import (
     CoverageViolation,
@@ -27,9 +29,11 @@ from .runner import (
 )
 from .parallel import PointFailure, run_figure_parallel, run_panel_parallel
 from .overhead import (
+    MeasuredOverhead,
     OverheadPoint,
     crossover_broadcasts,
     measure_overhead,
+    measure_overhead_instrumented,
 )
 from .workload import BroadcastWorkload, WorkloadResult
 
@@ -50,11 +54,15 @@ __all__ = [
     "Fig9Result",
     "format_fig9",
     "format_table1",
+    "format_overhead_comparison",
     "run_and_format_figure",
     "run_fig9_sample",
+    "run_overhead_comparison",
+    "MeasuredOverhead",
     "OverheadPoint",
     "crossover_broadcasts",
     "measure_overhead",
+    "measure_overhead_instrumented",
     "BroadcastWorkload",
     "WorkloadResult",
     "CoverageViolation",

@@ -8,11 +8,17 @@ Examples::
     python -m repro.experiments all --quick
     python -m repro.experiments fig15 --ns 20 60 100 --max-runs 30
     python -m repro.experiments fig11 --jobs 4
+    python -m repro.experiments fig11 --quick --instrument
+    python -m repro.experiments overhead
 
 ``--quick`` shrinks the sweep and the repetition bounds so a figure runs
 in seconds; omit it for paper-precision runs (90% CI within ±1%).
 ``--jobs N`` fans the measurement points over N worker processes with
 byte-identical results (``--jobs 0`` uses every core).
+``--instrument`` turns the work counters on: each point carries them in
+the JSON export and text runs print the merged totals per panel.  The
+``overhead`` target renders the measured-vs-analytical control-overhead
+table.
 """
 
 from __future__ import annotations
@@ -26,9 +32,11 @@ from .config import RunSettings
 from .figures import FIGURE_BUILDERS
 from .report import (
     format_fig9,
+    format_overhead_comparison,
     format_table1,
     run_and_format_figure,
     run_fig9_sample,
+    run_overhead_comparison,
 )
 
 __all__ = ["main"]
@@ -45,6 +53,7 @@ def _build_settings(args: argparse.Namespace) -> RunSettings:
             relative_half_width=0.05,
             seed=args.seed,
             jobs=jobs,
+            instrument=args.instrument,
         )
     return RunSettings(
         min_runs=args.min_runs or 10,
@@ -52,6 +61,7 @@ def _build_settings(args: argparse.Namespace) -> RunSettings:
         relative_half_width=0.01,
         seed=args.seed,
         jobs=jobs,
+        instrument=args.instrument,
     )
 
 
@@ -89,6 +99,13 @@ def _run_figure(name: str, args: argparse.Namespace) -> None:
         print(f"{figure.figure_id}: {figure.description}\n")
         for table in tables:
             print(format_table(table))
+            totals = table.total_counters()
+            if totals is not None:
+                nonzero = {k: v for k, v in sorted(totals.items()) if v}
+                print()
+                print("measured work (instrumentation counters):")
+                for key, value in nonzero.items():
+                    print(f"  {key}: {value}")
             if not args.no_charts:
                 print()
                 print(ascii_chart(table))
@@ -107,7 +124,7 @@ def _run_figure(name: str, args: argparse.Namespace) -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
-    targets = ["table1", "fig9", *FIGURE_BUILDERS, "all"]
+    targets = ["table1", "fig9", *FIGURE_BUILDERS, "overhead", "all"]
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",
@@ -138,6 +155,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--no-charts", action="store_true")
     parser.add_argument(
+        "--instrument", action="store_true",
+        help="collect work counters per point (shown in text runs, "
+        "included in JSON export)",
+    )
+    parser.add_argument(
         "--format", choices=["text", "csv", "json"], default="text",
         help="output format for figure runs (default: text tables)",
     )
@@ -150,6 +172,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(format_table1())
     elif args.target == "fig9":
         _emit_fig9(args)
+    elif args.target == "overhead":
+        trials = 5 if args.quick else 15
+        measured = run_overhead_comparison(trials=trials)
+        print(format_overhead_comparison(measured))
     elif args.target == "all":
         print(format_table1())
         print()

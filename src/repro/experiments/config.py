@@ -61,6 +61,12 @@ class RunSettings:
     pool of N worker processes.  Because every point derives its RNG from
     a per-point digest (:func:`repro.experiments.runner.point_seed`),
     results are byte-identical at any ``jobs`` value.
+
+    ``instrument`` turns on instrumentation counters
+    (:class:`repro.instrument.InstrumentationCounters`): each measured
+    point then carries its aggregated work counts in
+    ``DataPoint.counters``, summed per point regardless of which worker
+    measured it, so serial and parallel sweeps report identical totals.
     """
 
     confidence: float = 0.90
@@ -70,6 +76,7 @@ class RunSettings:
     seed: int = 20030519  # ICDCS 2003 presentation date
     check_coverage: bool = True
     jobs: int = 1
+    instrument: bool = False
 
     def __post_init__(self) -> None:
         if self.jobs < 1:

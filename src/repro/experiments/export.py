@@ -47,6 +47,14 @@ def _table_payload(table: ResultTable) -> Dict[str, Any]:
                         "mean": point.mean,
                         "half_width": point.half_width,
                         "samples": point.samples,
+                        # Counters appear only when instrumentation was
+                        # on, keeping uninstrumented payloads byte-stable
+                        # across the refactor.
+                        **(
+                            {"counters": point.counters}
+                            if point.counters is not None
+                            else {}
+                        ),
                     }
                     for point in series.points
                 ],

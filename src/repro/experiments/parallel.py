@@ -17,6 +17,10 @@ properties make the pool safe to use for reproduction work:
 * **Pickle-safe progress** — workers only ship ``(task, DataPoint)``
   tuples of plain ints and floats back to the parent; the parent renders
   progress messages and invokes the (unpicklable) callback itself.
+  Instrumentation counters (``settings.instrument``) ride inside each
+  shipped ``DataPoint`` as a plain dict, collected per point in whichever
+  process measured it — merging per-point counters therefore gives
+  exactly the serial totals at any worker count.
 
 Worker processes are created with the ``fork`` start method: protocol
 factories in :class:`~repro.experiments.config.SeriesSpec` are typically

@@ -1,14 +1,19 @@
 """Report generation: Table 1, the Figure 9 sample network, and figure runs.
 
 These are the entry points the CLI and benchmarks call: each returns the
-formatted text the paper's corresponding exhibit would contain.
+formatted text the paper's corresponding exhibit would contain.  The
+overhead comparison (:func:`run_overhead_comparison` /
+:func:`format_overhead_comparison`) renders measured instrumentation
+counts next to the analytical cost model of
+:mod:`repro.experiments.overhead`, validating the model against the
+simulator.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..algorithms.base import Timing
 from ..algorithms.generic import GenericSelfPruning, GenericStatic
@@ -21,6 +26,7 @@ from ..core.priority import IdPriority
 from ..viz.ascii_plot import ascii_chart
 from ..viz.network_svg import network_svg
 from .config import FigureSpec, RunSettings
+from .overhead import MeasuredOverhead, measure_overhead_instrumented
 from .runner import run_figure
 
 __all__ = [
@@ -29,6 +35,8 @@ __all__ = [
     "run_fig9_sample",
     "format_fig9",
     "run_and_format_figure",
+    "run_overhead_comparison",
+    "format_overhead_comparison",
 ]
 
 
@@ -124,6 +132,77 @@ def format_fig9(result: Fig9Result) -> str:
             for label in ("static", "FR", "FRB")
         ]
         lines.append(f"{hops}-hop information: " + ", ".join(counts))
+    return "\n".join(lines)
+
+
+def run_overhead_comparison(
+    hops_values: Sequence[int] = (2, 3),
+    scheme_names: Sequence[str] = ("id",),
+    n: int = 60,
+    degree: float = 6.0,
+    trials: int = 15,
+    seed: int = 97,
+) -> List[MeasuredOverhead]:
+    """Measure every (k, scheme) combination with instrumentation on."""
+    return [
+        measure_overhead_instrumented(
+            hops, scheme_name, n=n, degree=degree, trials=trials, seed=seed
+        )
+        for scheme_name in scheme_names
+        for hops in hops_values
+    ]
+
+
+def format_overhead_comparison(measured: Sequence[MeasuredOverhead]) -> str:
+    """Measured instrumentation counts next to the analytical cost model.
+
+    One row per configuration: the model's hello term
+    ``trials * n * (k + extra_rounds)`` against the hello beacons the
+    simulator actually emitted, and the model's mean-forward term against
+    the mean transmissions the counters recorded.  Agreement validates
+    :mod:`repro.experiments.overhead`'s analytical model end to end.
+    """
+    header = (
+        "k",
+        "scheme",
+        "hello (model)",
+        "hello (measured)",
+        "fwd/bcast (model)",
+        "tx/bcast (measured)",
+        "match",
+    )
+    rows: List[Tuple[str, ...]] = [header]
+    for item in measured:
+        point = item.point
+        tx_match = (
+            item.hello_matches
+            and abs(item.measured_transmissions - point.mean_forwards) < 1e-9
+        )
+        rows.append(
+            (
+                str(point.hops),
+                point.scheme_name,
+                str(item.analytical_hello_messages),
+                str(item.measured_hello_messages),
+                f"{point.mean_forwards:.2f}",
+                f"{item.measured_transmissions:.2f}",
+                "yes" if tx_match else "NO",
+            )
+        )
+    widths = [
+        max(len(row[col]) for row in rows) for col in range(len(header))
+    ]
+    lines = [
+        "Control overhead: analytical model vs instrumentation counters",
+        "",
+    ]
+    for index, row in enumerate(rows):
+        line = "  ".join(
+            cell.rjust(width) for cell, width in zip(row, widths)
+        )
+        lines.append(line)
+        if index == 0:
+            lines.append("-" * len(line))
     return "\n".join(lines)
 
 

@@ -19,6 +19,7 @@ from typing import Callable, Dict, List, Optional
 from ..algorithms.base import BroadcastProtocol
 from ..core.priority import scheme_by_name
 from ..graph.generators import random_connected_network
+from ..instrument import collecting
 from ..metrics.results import DataPoint, ResultTable, Series
 from ..metrics.stats import repeat_until_confident
 from ..sim.engine import BroadcastSession, SimulationEnvironment
@@ -90,21 +91,37 @@ def measure_point(
     ``(seed, label, n, degree)`` digest, so two different points measured
     back-to-back never replay the same sample stream (a bare
     ``Random(settings.seed)`` would correlate every point).
+
+    With ``settings.instrument`` the point's samples run inside a
+    :func:`repro.instrument.collecting` scope and the aggregated counts
+    travel on ``DataPoint.counters`` — per point, so parallel sweeps
+    merge to exactly the serial totals.
     """
     if rng is None:
         rng = random.Random(point_seed(settings.seed, "", spec.label, n, degree))
-    result = repeat_until_confident(
-        lambda: _one_sample(spec, n, degree, rng, settings.check_coverage),
-        confidence=settings.confidence,
-        relative_half_width=settings.relative_half_width,
-        min_runs=settings.min_runs,
-        max_runs=settings.max_runs,
-    )
+
+    def sample_all() -> object:
+        return repeat_until_confident(
+            lambda: _one_sample(spec, n, degree, rng, settings.check_coverage),
+            confidence=settings.confidence,
+            relative_half_width=settings.relative_half_width,
+            min_runs=settings.min_runs,
+            max_runs=settings.max_runs,
+        )
+
+    counter_payload: Optional[Dict[str, int]] = None
+    if settings.instrument:
+        with collecting() as counters:
+            result = sample_all()
+        counter_payload = counters.as_dict()
+    else:
+        result = sample_all()
     return DataPoint(
         x=n,
         mean=result.mean,
         half_width=result.interval.half_width,
         samples=len(result.samples),
+        counters=counter_payload,
     )
 
 

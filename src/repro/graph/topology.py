@@ -40,6 +40,8 @@ from typing import (
     Tuple,
 )
 
+from ..instrument import _STACK as _COUNTER_STACK
+
 __all__ = ["Topology"]
 
 Edge = Tuple[int, int]
@@ -129,7 +131,11 @@ class Topology:
             self._cache_epoch = self._epoch
         cache = self._query_cache
         if key not in cache:
+            if _COUNTER_STACK:
+                _COUNTER_STACK[-1].topology_cache_misses += 1
             cache[key] = compute()
+        elif _COUNTER_STACK:
+            _COUNTER_STACK[-1].topology_cache_hits += 1
         return cache[key]
 
     # ------------------------------------------------------------------
@@ -248,6 +254,8 @@ class Topology:
     def _bfs_distances_compute(
         self, source: int, max_hops: Optional[int]
     ) -> Dict[int, int]:
+        if _COUNTER_STACK:
+            _COUNTER_STACK[-1].bfs_runs += 1
         distances: Dict[int, int] = {source: 0}
         frontier = deque([source])
         while frontier:

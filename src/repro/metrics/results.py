@@ -9,8 +9,11 @@ the benchmark harness prints.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..instrument import merge_counter_dicts
 
 __all__ = ["DataPoint", "Series", "ResultTable", "format_table"]
 
@@ -23,6 +26,10 @@ class DataPoint:
     mean: float
     half_width: float = 0.0
     samples: int = 0
+    #: Instrumentation counters aggregated over the point's samples, as a
+    #: plain name -> count mapping (``None`` when instrumentation was off).
+    #: Kept as a dict so points pickle cheaply across worker processes.
+    counters: Optional[Dict[str, int]] = None
 
 
 @dataclass
@@ -45,11 +52,27 @@ class Series:
         return [p.mean for p in self.points]
 
     def value_at(self, x: float) -> Optional[float]:
-        """The mean at ``x``, or ``None`` when unmeasured."""
+        """The mean at ``x``, or ``None`` when unmeasured.
+
+        Matching uses :func:`math.isclose` rather than ``==`` so x values
+        that went through float arithmetic (density sweeps computed as
+        ``n * spacing``, deserialised JSON, …) still find their point.
+        """
         for point in self.points:
-            if point.x == x:
+            if math.isclose(point.x, x, rel_tol=1e-9, abs_tol=1e-12):
                 return point.mean
         return None
+
+    def total_counters(self) -> Optional[Dict[str, int]]:
+        """Instrumentation counters merged across the series' points.
+
+        ``None`` when no point carries counters; points without counters
+        are skipped otherwise.
+        """
+        payloads = [p.counters for p in self.points if p.counters is not None]
+        if not payloads:
+            return None
+        return merge_counter_dicts(payloads)
 
 
 @dataclass
@@ -80,6 +103,20 @@ class ResultTable:
                 if x not in values:
                     values.append(x)
         return sorted(values)
+
+    def total_counters(self) -> Optional[Dict[str, int]]:
+        """Instrumentation counters merged across every series.
+
+        ``None`` when no series carries counters.
+        """
+        payloads = [
+            totals
+            for totals in (series.total_counters() for series in self.series)
+            if totals is not None
+        ]
+        if not payloads:
+            return None
+        return merge_counter_dicts(payloads)
 
 
 def format_table(table: ResultTable, precision: int = 2) -> str:

@@ -5,12 +5,30 @@ from .engine import (
     BroadcastSession,
     SimulationEnvironment,
     run_broadcast,
+    session_seed,
 )
 from .energy import (
     EnergyAwarePriority,
     EnergyTracker,
     LifetimeResult,
     network_lifetime,
+)
+from .events import (
+    NULL_BUS,
+    BackoffScheduled,
+    Decide,
+    Deliver,
+    Designate,
+    Drop,
+    EventBus,
+    HelloBeacon,
+    Nack,
+    NullBus,
+    RecordingBus,
+    SimEvent,
+    Transmit,
+    events_from_jsonl,
+    events_to_jsonl,
 )
 from .hello import HelloState, run_hello_rounds
 from .mac import CollisionMac, IdealMac, JitterMac, MacModel
@@ -25,10 +43,26 @@ __all__ = [
     "BroadcastSession",
     "SimulationEnvironment",
     "run_broadcast",
+    "session_seed",
     "EnergyAwarePriority",
     "EnergyTracker",
     "LifetimeResult",
     "network_lifetime",
+    "SimEvent",
+    "Transmit",
+    "Deliver",
+    "Drop",
+    "Decide",
+    "Designate",
+    "BackoffScheduled",
+    "HelloBeacon",
+    "Nack",
+    "EventBus",
+    "NullBus",
+    "RecordingBus",
+    "NULL_BUS",
+    "events_to_jsonl",
+    "events_from_jsonl",
     "HelloState",
     "run_hello_rounds",
     "CollisionMac",

@@ -17,10 +17,20 @@ protocol from one source:
 
 The engine is deliberately protocol-agnostic: all algorithm behaviour
 lives behind :class:`~repro.algorithms.base.BroadcastProtocol`.
+
+Observability: every step is published as a typed
+:class:`~repro.sim.events.SimEvent` on the session's
+:class:`~repro.sim.events.EventBus` (``collect_trace=True`` records them
+into ``BroadcastOutcome.events``), and work counters flow into the active
+:func:`repro.instrument.collecting` scope — ``collect_counters=True``
+attaches a per-run :class:`~repro.instrument.InstrumentationCounters` to
+the outcome.
 """
 
 from __future__ import annotations
 
+import hashlib
+import itertools
 import random
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
@@ -29,12 +39,32 @@ from ..algorithms.base import BroadcastProtocol, NodeContext, Timing
 from ..core.priority import PriorityScheme, IdPriority
 from ..core.views import View
 from ..graph.topology import Topology
+from ..instrument import InstrumentationCounters, collecting
+from ..instrument import _STACK as _COUNTER_STACK
+from .events import (
+    NULL_BUS,
+    BackoffScheduled,
+    Decide,
+    Deliver,
+    Designate,
+    Drop,
+    EventBus,
+    RecordingBus,
+    SimEvent,
+    Transmit,
+)
 from .mac import IdealMac, MacModel
 from .packet import Packet
 from .scheduler import EventScheduler
 from .trace import TraceRecorder
 
-__all__ = ["SimulationEnvironment", "BroadcastSession", "BroadcastOutcome", "run_broadcast"]
+__all__ = [
+    "SimulationEnvironment",
+    "BroadcastSession",
+    "BroadcastOutcome",
+    "run_broadcast",
+    "session_seed",
+]
 
 
 class SimulationEnvironment:
@@ -130,8 +160,12 @@ class BroadcastOutcome:
     receipt_counts: Dict[int, int] = field(default_factory=dict)
     #: Total abstract packet size transmitted (see ``Packet.size_units``).
     bytes_transmitted: int = 0
-    #: Optional event trace.
+    #: Typed event trace (``collect_trace=True``), in emission order.
+    events: Optional[List[SimEvent]] = None
+    #: Deprecated text-trace shim rendered from :attr:`events`.
     trace: Optional[TraceRecorder] = None
+    #: Per-run work counters (``collect_counters=True``).
+    counters: Optional[InstrumentationCounters] = None
 
     @property
     def forward_count(self) -> int:
@@ -185,8 +219,53 @@ class _NodeState:
         self.last_packet: Optional[Packet] = None
 
 
+#: Monotone sequence distinguishing same-process default-seeded sessions.
+_SESSION_SEQUENCE = itertools.count()
+
+
+def session_seed(source: int, sequence: int) -> int:
+    """The documented default-RNG seed of one :class:`BroadcastSession`.
+
+    ``sha256("BroadcastSession|{sequence}|{source}")``, truncated to 64
+    bits.  ``sequence`` is a per-process monotone counter, so repeated
+    sessions constructed without an explicit RNG draw *different* backoff
+    streams (a fixed ``Random(0)`` default used to replay the identical
+    stream, skewing FRB/FRBD redundancy and completion-time statistics),
+    while any single session remains reproducible from its ``(source,
+    sequence)`` pair.
+    """
+    digest = hashlib.sha256(
+        f"BroadcastSession|{sequence}|{source}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
 class BroadcastSession:
-    """One broadcast of one protocol from one source over one deployment."""
+    """One broadcast of one protocol from one source over one deployment.
+
+    Parameters
+    ----------
+    rng:
+        Source of randomness for backoff delays and lossy MACs.  When
+        omitted, the session seeds its own generator from
+        :func:`session_seed` — a per-session derivation, so repeated
+        default-constructed sessions do **not** replay the same stream.
+        Pass an explicit ``random.Random`` for cross-run reproducibility.
+    bus:
+        Event bus receiving the typed :mod:`~repro.sim.events` stream;
+        defaults to the zero-cost :data:`~repro.sim.events.NULL_BUS`.
+        Subscribe *before* calling :meth:`run` — the engine samples
+        ``bus.active`` once at the start of the run (a plain-attribute
+        hot-path check instead of a property call per event site), so
+        subscriptions made mid-run are not picked up.
+    collect_trace:
+        Record the event stream into ``outcome.events`` (and the
+        deprecated ``outcome.trace`` text shim).  Implied recording bus
+        when no explicit ``bus`` is given.
+    collect_counters:
+        Attach per-run :class:`~repro.instrument.InstrumentationCounters`
+        to ``outcome.counters``.
+    """
 
     def __init__(
         self,
@@ -196,16 +275,33 @@ class BroadcastSession:
         rng: Optional[random.Random] = None,
         mac: Optional[MacModel] = None,
         collect_trace: bool = False,
+        bus: Optional[EventBus] = None,
+        collect_counters: bool = False,
     ) -> None:
         if source not in env.graph:
             raise KeyError(f"source {source} not in the deployment graph")
         self.env = env
         self.protocol = protocol
         self.source = source
-        self.rng = rng or random.Random(0)
+        if rng is None:
+            rng = random.Random(
+                session_seed(source, next(_SESSION_SEQUENCE))
+            )
+        self.rng = rng
         self.mac = mac or IdealMac()
         self.scheduler = EventScheduler()
-        self.trace = TraceRecorder() if collect_trace else None
+        if bus is None:
+            bus = RecordingBus() if collect_trace else NULL_BUS
+        elif collect_trace and bus.recorded() is None:
+            raise ValueError(
+                "collect_trace=True needs a recording bus; pass a "
+                "RecordingBus or drop the explicit bus argument"
+            )
+        self.bus = bus
+        #: ``bus.active`` snapshot; refreshed at the top of :meth:`run`.
+        self._bus_on = bus.active
+        self._collect_trace = collect_trace
+        self._collect_counters = collect_counters
         self._states: Dict[int, _NodeState] = {
             node: _NodeState() for node in env.graph.nodes()
         }
@@ -219,9 +315,13 @@ class BroadcastSession:
 
     def run(self) -> BroadcastOutcome:
         """Execute the broadcast to quiescence and report the outcome."""
-        self.mac.reset()
-        self.scheduler.schedule_at(0.0, self._start)
-        self.scheduler.run()
+        self._bus_on = self.bus.active
+        counters: Optional[InstrumentationCounters] = None
+        if self._collect_counters:
+            with collecting() as counters:
+                self._execute()
+        else:
+            self._execute()
         forward_nodes = {
             node for node, state in self._states.items() if state.forwarded
         }
@@ -229,6 +329,7 @@ class BroadcastSession:
             node for node, state in self._states.items() if state.received
         }
         delivered.add(self.source)
+        events = self.bus.recorded()
         return BroadcastOutcome(
             source=self.source,
             forward_nodes=forward_nodes,
@@ -238,8 +339,19 @@ class BroadcastSession:
             designations=dict(self._designations),
             receipt_counts=dict(self._receipt_counts),
             bytes_transmitted=self._bytes_transmitted,
-            trace=self.trace,
+            events=events,
+            trace=(
+                TraceRecorder.from_events(events)
+                if self._collect_trace and events is not None
+                else None
+            ),
+            counters=counters,
         )
+
+    def _execute(self) -> None:
+        self.mac.reset()
+        self.scheduler.schedule_at(0.0, self._start)
+        self.scheduler.run()
 
     # ------------------------------------------------------------------
 
@@ -258,17 +370,23 @@ class BroadcastSession:
             rng=self.rng,
         )
 
-    def _record(self, kind: str, node: int, detail: str = "") -> None:
-        if self.trace is not None:
-            self.trace.record(self.scheduler.now, kind, node, detail)
-
     def _start(self) -> None:
         state = self._states[self.source]
         state.known_visited.add(self.source)
         ctx = self._context(self.source)
         designated = self.protocol.designate(ctx)
         state.decided = True
-        self._record("decide", self.source, "source always forwards")
+        if _COUNTER_STACK:
+            _COUNTER_STACK[-1].decisions += 1
+        if self._bus_on:
+            self.bus.emit(
+                Decide(
+                    time=self.scheduler.now,
+                    node=self.source,
+                    forward=True,
+                    reason="source",
+                )
+            )
         self._transmit(self.source, designated, incoming=None)
 
     def _transmit(
@@ -295,8 +413,24 @@ class BroadcastSession:
             packet = incoming.forwarded(
                 node, designated, self.protocol.piggyback_h, two_hop
             )
-        self._bytes_transmitted += packet.size_units()
-        self._record("transmit", node, f"designates {sorted(designated)}")
+        size = packet.size_units()
+        self._bytes_transmitted += size
+        if _COUNTER_STACK:
+            counters = _COUNTER_STACK[-1]
+            counters.transmissions += 1
+            counters.bytes_transmitted += size
+        bus_on = self._bus_on
+        bus = self.bus
+        if bus_on:
+            now = self.scheduler.now
+            chosen = tuple(sorted(designated))
+            if chosen:
+                bus.emit(Designate(time=now, node=node, designated=chosen))
+            bus.emit(
+                Transmit(
+                    time=now, node=node, designated=chosen, size_units=size
+                )
+            )
         # Sorted delivery order keeps same-time tie-breaks well-defined
         # (and identical to the round-synchronous executor).
         neighbors = sorted(self.env.graph.neighbors(node))
@@ -304,7 +438,15 @@ class BroadcastSession:
             node, self.scheduler.now, neighbors, self.rng
         ):
             if arrival is None:
-                self._record("lost", receiver, f"copy from {node}")
+                if bus_on:
+                    bus.emit(
+                        Drop(
+                            time=self.scheduler.now,
+                            node=receiver,
+                            sender=node,
+                            reason="loss",
+                        )
+                    )
                 continue
             self.scheduler.schedule_at(
                 arrival,
@@ -312,12 +454,29 @@ class BroadcastSession:
             )
 
     def _deliver(self, receiver: int, packet: Packet, arrival: float) -> None:
+        bus = self.bus
+        bus_on = self._bus_on
         if self.mac.corrupted(receiver, arrival):
             # A later transmission collided with this copy in flight.
-            self._record("lost", receiver, f"collision, copy from {packet.sender}")
+            if bus_on:
+                bus.emit(
+                    Drop(
+                        time=self.scheduler.now,
+                        node=receiver,
+                        sender=packet.sender,
+                        reason="collision",
+                    )
+                )
             return
         state = self._states[receiver]
-        self._record("receive", receiver, f"from {packet.sender}")
+        if bus_on:
+            bus.emit(
+                Deliver(
+                    time=self.scheduler.now,
+                    node=receiver,
+                    sender=packet.sender,
+                )
+            )
         self._receipt_counts[receiver] += 1
         # Snooping: hearing the transmission marks the sender visited.
         state.known_visited.add(packet.sender)
@@ -345,20 +504,34 @@ class BroadcastSession:
                 # threshold and is no longer authoritative.
                 if self.protocol.strict_designation:
                     ctx = self._context(receiver)
-                    self._record(
-                        "decide", receiver, "forced by late designation"
-                    )
+                    if _COUNTER_STACK:
+                        _COUNTER_STACK[-1].decisions += 1
+                    if bus_on:
+                        bus.emit(
+                            Decide(
+                                time=self.scheduler.now,
+                                node=receiver,
+                                forward=True,
+                                reason="forced-designation",
+                            )
+                        )
                     self._transmit(
                         receiver, self.protocol.designate(ctx), incoming=packet
                     )
                 elif self.protocol.relaxed_designation:
                     ctx = self._context(receiver)
                     if self.protocol.should_forward(ctx):
-                        self._record(
-                            "decide",
-                            receiver,
-                            "forward (re-evaluated as designated)",
-                        )
+                        if _COUNTER_STACK:
+                            _COUNTER_STACK[-1].decisions += 1
+                        if bus_on:
+                            bus.emit(
+                                Decide(
+                                    time=self.scheduler.now,
+                                    node=receiver,
+                                    forward=True,
+                                    reason="relaxed-designation",
+                                )
+                            )
                         self._transmit(
                             receiver,
                             self.protocol.designate(ctx),
@@ -369,6 +542,12 @@ class BroadcastSession:
             state.decision_pending = True
             ctx = self._context(receiver)
             delay = self.protocol.decision_delay(ctx, self.rng)
+            if bus_on:
+                bus.emit(
+                    BackoffScheduled(
+                        time=self.scheduler.now, node=receiver, delay=delay
+                    )
+                )
             self.scheduler.schedule_in(
                 delay, lambda r=receiver: self._decide(r)
             )
@@ -382,13 +561,18 @@ class BroadcastSession:
         ctx = self._context(node)
         forced = self.protocol.strict_designation and bool(state.designators)
         forward = forced or self.protocol.should_forward(ctx)
-        self._record(
-            "decide",
-            node,
-            "forward" + (" (designated)" if forced else "")
-            if forward
-            else "non-forward",
-        )
+        if _COUNTER_STACK:
+            _COUNTER_STACK[-1].decisions += 1
+        if self._bus_on:
+            self.bus.emit(
+                Decide(
+                    time=self.scheduler.now,
+                    node=node,
+                    forward=forward,
+                    reason="timer",
+                    designated=forced,
+                )
+            )
         if forward:
             designated = self.protocol.designate(ctx)
             self._transmit(node, designated, incoming=state.last_packet)
@@ -402,11 +586,20 @@ def run_broadcast(
     rng: Optional[random.Random] = None,
     mac: Optional[MacModel] = None,
     collect_trace: bool = False,
+    bus: Optional[EventBus] = None,
+    collect_counters: bool = False,
 ) -> BroadcastOutcome:
     """Convenience one-shot: environment + prepare + session + run."""
     env = SimulationEnvironment(graph, scheme)
     protocol.prepare(env)
     session = BroadcastSession(
-        env, protocol, source, rng=rng, mac=mac, collect_trace=collect_trace
+        env,
+        protocol,
+        source,
+        rng=rng,
+        mac=mac,
+        collect_trace=collect_trace,
+        bus=bus,
+        collect_counters=collect_counters,
     )
     return session.run()

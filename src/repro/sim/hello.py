@@ -12,14 +12,23 @@ exchanges to build.  This module simulates those rounds message by message:
 After ``k`` rounds, node ``v``'s table restricted to what the paper defines
 as visible equals ``G_k(v)`` — an equality the integration tests assert
 against :meth:`repro.graph.topology.Topology.k_hop_view_graph`.
+
+Each beacon is published as a typed
+:class:`~repro.sim.events.HelloBeacon` on the given bus and counted into
+the active :func:`repro.instrument.collecting` scope
+(``hello_messages``), which is how the measured-overhead table checks
+the analytical ``n * (k + extra_rounds)`` hello cost against actually
+simulated messages.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Set, Tuple
+from typing import Dict, FrozenSet, Optional, Set, Tuple
 
 from ..graph.topology import Topology
+from ..instrument import _STACK as _COUNTER_STACK
+from .events import NULL_BUS, EventBus, HelloBeacon
 
 __all__ = ["HelloState", "run_hello_rounds"]
 
@@ -47,20 +56,25 @@ def _normalised(u: int, v: int) -> Edge:
     return (u, v) if u < v else (v, u)
 
 
-def run_hello_rounds(graph: Topology, k: int) -> Dict[int, HelloState]:
+def run_hello_rounds(
+    graph: Topology, k: int, bus: Optional[EventBus] = None
+) -> Dict[int, HelloState]:
     """Execute ``k`` synchronous hello rounds on every node of ``graph``.
 
     Returns each node's :class:`HelloState`.  The message a node sends in
     round ``i`` is its knowledge after round ``i - 1``, exactly like
     periodic hello beacons whose payload is the sender's current table.
+    One beacon per node per round is emitted on ``bus`` and tallied into
+    the active instrumentation scope.
     """
     if k < 0:
         raise ValueError(f"k must be non-negative, got {k}")
+    bus = bus or NULL_BUS
     states: Dict[int, HelloState] = {
         node: HelloState(node=node, known_nodes={node})
         for node in graph.nodes()
     }
-    for _round in range(k):
+    for round_index in range(k):
         # Snapshot everyone's outgoing message first: synchronous rounds.
         messages: Dict[int, Tuple[FrozenSet[int], FrozenSet[Edge]]] = {
             node: (
@@ -69,6 +83,18 @@ def run_hello_rounds(graph: Topology, k: int) -> Dict[int, HelloState]:
             )
             for node, state in states.items()
         }
+        if _COUNTER_STACK:
+            # One beacon per node per round, delivered by local broadcast.
+            _COUNTER_STACK[-1].hello_messages += len(states)
+        if bus.active:
+            for node in states:
+                bus.emit(
+                    HelloBeacon(
+                        time=float(round_index),
+                        node=node,
+                        round_index=round_index,
+                    )
+                )
         for node, state in states.items():
             for sender in graph.neighbors(node):
                 sender_nodes, sender_edges = messages[sender]

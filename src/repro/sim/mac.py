@@ -21,9 +21,21 @@ import random
 from abc import ABC, abstractmethod
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from ..instrument import _STACK as _COUNTER_STACK
+
 __all__ = ["MacModel", "IdealMac", "JitterMac", "CollisionMac"]
 
 Delivery = Tuple[int, Optional[float]]
+
+
+def _tally(result: List[Delivery]) -> List[Delivery]:
+    """Report one transmission's deliveries/losses into active counters."""
+    if _COUNTER_STACK:
+        counters = _COUNTER_STACK[-1]
+        delivered = sum(1 for _, arrival in result if arrival is not None)
+        counters.mac_deliveries += delivered
+        counters.mac_losses += len(result) - delivered
+    return result
 
 
 class MacModel(ABC):
@@ -68,7 +80,7 @@ class IdealMac(MacModel):
         rng: random.Random,
     ) -> List[Delivery]:
         arrival = time + self.delay
-        return [(receiver, arrival) for receiver in neighbors]
+        return _tally([(receiver, arrival) for receiver in neighbors])
 
 
 class JitterMac(MacModel):
@@ -89,10 +101,10 @@ class JitterMac(MacModel):
         neighbors: Iterable[int],
         rng: random.Random,
     ) -> List[Delivery]:
-        return [
+        return _tally([
             (receiver, time + self.delay + rng.uniform(0.0, self.jitter))
             for receiver in neighbors
-        ]
+        ])
 
 
 class CollisionMac(MacModel):
@@ -141,6 +153,7 @@ class CollisionMac(MacModel):
         rng: random.Random,
     ) -> List[Delivery]:
         result: List[Delivery] = []
+        collisions_before = self.collisions
         for receiver in neighbors:
             arrival = time + self.delay + (
                 rng.uniform(0.0, self.jitter) if self.jitter else 0.0
@@ -166,7 +179,11 @@ class CollisionMac(MacModel):
             else:
                 self._scheduled.setdefault(receiver, set()).add(arrival)
                 result.append((receiver, arrival))
-        return result
+        if _COUNTER_STACK:
+            _COUNTER_STACK[-1].mac_collisions += (
+                self.collisions - collisions_before
+            )
+        return _tally(result)
 
     def corrupted(self, receiver: int, arrival: float) -> bool:
         return arrival in self._poisoned.get(receiver, ())

@@ -18,17 +18,24 @@ can also lose recovery copies — rounds simply continue.  On a connected
 graph with a non-degenerate MAC the process converges: every round with
 an uncovered node adjacent to a covered one makes progress with positive
 probability, and the round budget bounds the worst case.
+
+Recovery work is observable: NACKs and retransmissions are published as
+typed :class:`~repro.sim.events.Nack` / :class:`~repro.sim.events.Transmit`
+events on the session's bus and tallied into the active
+:func:`repro.instrument.collecting` scope.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..algorithms.base import BroadcastProtocol
 from ..graph.topology import Topology
+from ..instrument import _STACK as _COUNTER_STACK
 from .engine import BroadcastOutcome, BroadcastSession, SimulationEnvironment
+from .events import NULL_BUS, Deliver, Drop, EventBus, Nack, Transmit
 from .mac import IdealMac, MacModel
 
 __all__ = ["ReliableOutcome", "ReliableBroadcastSession"]
@@ -67,6 +74,7 @@ class ReliableBroadcastSession:
         rng: Optional[random.Random] = None,
         mac: Optional[MacModel] = None,
         max_rounds: int = 10,
+        bus: Optional[EventBus] = None,
     ) -> None:
         if max_rounds < 0:
             raise ValueError(f"max_rounds must be non-negative, got {max_rounds}")
@@ -76,12 +84,13 @@ class ReliableBroadcastSession:
         self.rng = rng or random.Random(0)
         self.mac = mac or IdealMac()
         self.max_rounds = max_rounds
+        self.bus = bus or NULL_BUS
 
     def run(self) -> ReliableOutcome:
         """Phase 1 broadcast, then recovery rounds to convergence."""
         session = BroadcastSession(
             self.env, self.protocol, self.source,
-            rng=self.rng, mac=self.mac,
+            rng=self.rng, mac=self.mac, bus=self.bus,
         )
         initial = session.run()
         graph = self.env.graph
@@ -97,29 +106,62 @@ class ReliableBroadcastSession:
                 break
             # Hello exchange: each missing node discovers covered
             # neighbors and NACKs the lowest-id one.
+            bus = self.bus
             nacked: Set[int] = set()
             for node in sorted(missing):
                 holders = graph.neighbors(node) & delivered
                 if holders:
-                    nacked.add(min(holders))
+                    target = min(holders)
+                    nacked.add(target)
                     nacks += 1
+                    if _COUNTER_STACK:
+                        _COUNTER_STACK[-1].nacks += 1
+                    if bus.active:
+                        bus.emit(Nack(time=clock, node=node, target=target))
             if not nacked:
                 break  # nobody reachable holds the packet: stuck
             rounds += 1
             clock += 1.0
             # Collect the whole round first: a later retransmission can
             # retroactively corrupt an earlier one at a shared receiver.
-            pending = []
+            pending: List[Tuple[int, int, float]] = []
             for holder in sorted(nacked):
                 retransmissions += 1
+                if _COUNTER_STACK:
+                    _COUNTER_STACK[-1].retransmissions += 1
+                if bus.active:
+                    bus.emit(Transmit(time=clock, node=holder))
                 for receiver, arrival in self.mac.deliveries(
                     holder, clock, graph.neighbors(holder), self.rng
                 ):
                     if arrival is not None:
-                        pending.append((receiver, arrival))
-            for receiver, arrival in pending:
-                if not self.mac.corrupted(receiver, arrival):
+                        pending.append((holder, receiver, arrival))
+                    elif bus.active:
+                        bus.emit(
+                            Drop(
+                                time=clock,
+                                node=receiver,
+                                sender=holder,
+                                reason="loss",
+                            )
+                        )
+            for holder, receiver, arrival in pending:
+                if self.mac.corrupted(receiver, arrival):
+                    if bus.active:
+                        bus.emit(
+                            Drop(
+                                time=arrival,
+                                node=receiver,
+                                sender=holder,
+                                reason="collision",
+                            )
+                        )
+                else:
                     delivered.add(receiver)
+                    if bus.active:
+                        bus.emit(
+                            Deliver(time=arrival, node=receiver, sender=holder)
+                        )
             clock += 1.0
 
         return ReliableOutcome(

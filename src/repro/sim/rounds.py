@@ -23,8 +23,19 @@ from typing import Dict, List, Optional, Set
 
 from ..algorithms.base import BroadcastProtocol, NodeContext, Timing
 from ..graph.topology import Topology
+from ..instrument import _STACK as _COUNTER_STACK
 from .engine import BroadcastOutcome, SimulationEnvironment
+from .events import (
+    NULL_BUS,
+    Decide,
+    Deliver,
+    Designate,
+    EventBus,
+    RecordingBus,
+    Transmit,
+)
 from .packet import Packet
+from .trace import TraceRecorder
 
 __all__ = ["run_round_broadcast"]
 
@@ -36,13 +47,18 @@ def run_round_broadcast(
     protocol: BroadcastProtocol,
     source: int,
     rng: Optional[random.Random] = None,
+    bus: Optional[EventBus] = None,
+    collect_trace: bool = False,
 ) -> BroadcastOutcome:
     """Execute one broadcast in synchronous waves.
 
     Matches the discrete-event engine exactly for static and
     first-receipt protocols under a unit-delay ideal MAC (delivery order
     within a wave follows the transmitting nodes' scheduling order,
-    mirroring the engine's FIFO tie-break).
+    mirroring the engine's FIFO tie-break).  Typed events go to ``bus``
+    (or a recording bus under ``collect_trace=True``) with the wave
+    number as the timestamp; transmissions and decisions are tallied
+    into the active instrumentation scope.
     """
     if protocol.timing not in _SUPPORTED:
         raise ValueError(
@@ -52,6 +68,8 @@ def run_round_broadcast(
     if source not in env.graph:
         raise KeyError(f"source {source} not in the deployment graph")
     rng = rng or random.Random(0)
+    if bus is None:
+        bus = RecordingBus() if collect_trace else NULL_BUS
     graph = env.graph
 
     known_visited: Dict[int, Set[int]] = {
@@ -92,16 +110,42 @@ def run_round_broadcast(
             env.two_hop_set(node) if protocol.piggyback_two_hop else None
         )
         if incoming is None:
-            return Packet.original(
+            packet = Packet.original(
                 node, chosen, protocol.piggyback_h, two_hop
             )
-        return incoming.forwarded(
-            node, chosen, protocol.piggyback_h, two_hop
-        )
+        else:
+            packet = incoming.forwarded(
+                node, chosen, protocol.piggyback_h, two_hop
+            )
+        if _COUNTER_STACK:
+            counters = _COUNTER_STACK[-1]
+            counters.transmissions += 1
+            counters.bytes_transmitted += packet.size_units()
+        if bus.active:
+            announced = tuple(sorted(chosen))
+            if announced:
+                bus.emit(
+                    Designate(
+                        time=float(rounds), node=node, designated=announced
+                    )
+                )
+            bus.emit(
+                Transmit(
+                    time=float(rounds),
+                    node=node,
+                    designated=announced,
+                    size_units=packet.size_units(),
+                )
+            )
+        return packet
 
     rounds = 0
     known_visited[source].add(source)
     decided.add(source)
+    if _COUNTER_STACK:
+        _COUNTER_STACK[-1].decisions += 1
+    if bus.active:
+        bus.emit(Decide(time=0.0, node=source, forward=True, reason="source"))
     wave: List[tuple] = [(source, transmit(source, None))]
 
     while wave:
@@ -115,6 +159,12 @@ def run_round_broadcast(
         for sender, packet in wave:
             for receiver in sorted(graph.neighbors(sender)):
                 receipt_counts[receiver] += 1
+                if bus.active:
+                    bus.emit(
+                        Deliver(
+                            time=float(rounds), node=receiver, sender=sender
+                        )
+                    )
                 known_visited[receiver].add(sender)
                 for entry in packet.trail:
                     known_visited[receiver].add(entry.node)
@@ -135,9 +185,31 @@ def run_round_broadcast(
                     # the knowledge available at this instant, matching
                     # the engine's per-delivery handling.
                     if protocol.strict_designation:
+                        if _COUNTER_STACK:
+                            _COUNTER_STACK[-1].decisions += 1
+                        if bus.active:
+                            bus.emit(
+                                Decide(
+                                    time=float(rounds),
+                                    node=receiver,
+                                    forward=True,
+                                    reason="forced-designation",
+                                )
+                            )
                         next_wave.append((receiver, transmit(receiver, packet)))
                     elif protocol.relaxed_designation:
                         if protocol.should_forward(context(receiver)):
+                            if _COUNTER_STACK:
+                                _COUNTER_STACK[-1].decisions += 1
+                            if bus.active:
+                                bus.emit(
+                                    Decide(
+                                        time=float(rounds),
+                                        node=receiver,
+                                        forward=True,
+                                        reason="relaxed-designation",
+                                    )
+                                )
                             next_wave.append(
                                 (receiver, transmit(receiver, packet))
                             )
@@ -147,12 +219,26 @@ def run_round_broadcast(
             decided.add(node)
             ctx = context(node)
             forced = protocol.strict_designation and bool(designators[node])
-            if forced or protocol.should_forward(ctx):
+            forward = forced or protocol.should_forward(ctx)
+            if _COUNTER_STACK:
+                _COUNTER_STACK[-1].decisions += 1
+            if bus.active:
+                bus.emit(
+                    Decide(
+                        time=float(rounds),
+                        node=node,
+                        forward=forward,
+                        reason="timer",
+                        designated=forced,
+                    )
+                )
+            if forward:
                 next_wave.append((node, transmit(node, first_packet[node])))
         wave = next_wave
 
     delivered = {node for node, count in receipt_counts.items() if count}
     delivered.add(source)
+    events = bus.recorded()
     return BroadcastOutcome(
         source=source,
         forward_nodes=set(forwarded),
@@ -161,5 +247,10 @@ def run_round_broadcast(
         completion_time=float(rounds),
         designations=dict(designations),
         receipt_counts=receipt_counts,
-        trace=None,
+        events=events,
+        trace=(
+            TraceRecorder.from_events(events)
+            if collect_trace and events is not None
+            else None
+        ),
     )

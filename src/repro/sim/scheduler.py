@@ -12,6 +12,8 @@ import heapq
 import itertools
 from typing import Any, Callable, List, Optional, Tuple
 
+from ..instrument import _STACK as _COUNTER_STACK
+
 __all__ = ["EventScheduler"]
 
 Callback = Callable[[], None]
@@ -25,6 +27,7 @@ class EventScheduler:
         self._sequence = itertools.count()
         self._now = 0.0
         self._executed = 0
+        self._max_queue_depth = 0
 
     @property
     def now(self) -> float:
@@ -41,6 +44,11 @@ class EventScheduler:
         """How many events are waiting."""
         return len(self._queue)
 
+    @property
+    def max_queue_depth(self) -> int:
+        """High-water mark of the pending queue over this scheduler's life."""
+        return self._max_queue_depth
+
     def schedule_at(self, time: float, callback: Callback) -> None:
         """Run ``callback`` at absolute ``time`` (must not be in the past)."""
         if time < self._now:
@@ -48,6 +56,8 @@ class EventScheduler:
                 f"cannot schedule at {time}; simulation time is {self._now}"
             )
         heapq.heappush(self._queue, (time, next(self._sequence), callback))
+        if len(self._queue) > self._max_queue_depth:
+            self._max_queue_depth = len(self._queue)
 
     def schedule_in(self, delay: float, callback: Callback) -> None:
         """Run ``callback`` after ``delay`` time units."""
@@ -70,4 +80,9 @@ class EventScheduler:
             callback()
             executed += 1
             self._executed += 1
+        if _COUNTER_STACK:
+            counters = _COUNTER_STACK[-1]
+            counters.scheduler_events += executed
+            if self._max_queue_depth > counters.scheduler_max_queue_depth:
+                counters.scheduler_max_queue_depth = self._max_queue_depth
         return executed

@@ -1,16 +1,28 @@
-"""Event trace recording for debugging, examples, and tests."""
+"""Legacy text-trace shim over the typed event stream.
+
+.. deprecated::
+    The simulation now publishes typed :class:`~repro.sim.events.SimEvent`
+    objects on an :class:`~repro.sim.events.EventBus`; consume
+    ``BroadcastOutcome.events`` (or subscribe a bus) instead of this
+    module.  :class:`TraceRecorder` remains so existing code that reads
+    ``outcome.trace`` — kind strings, ``node``/``detail`` fields, the
+    ``format()`` text — keeps working: it renders the old format from
+    typed events via :meth:`~repro.sim.events.SimEvent.legacy`.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List
+from typing import Iterable, Iterator, List
+
+from .events import SimEvent
 
 __all__ = ["TraceEvent", "TraceRecorder"]
 
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One recorded simulation event."""
+    """One legacy-format trace line: time, kind, node, free-text detail."""
 
     time: float
     kind: str
@@ -23,10 +35,32 @@ class TraceEvent:
 
 
 class TraceRecorder:
-    """Accumulates :class:`TraceEvent` records in time order."""
+    """Accumulates :class:`TraceEvent` records in time order.
+
+    Deprecated compatibility shim: build one from typed events with
+    :meth:`from_events` (what the engine does for ``collect_trace=True``)
+    or keep appending legacy records with :meth:`record`.
+    """
 
     def __init__(self) -> None:
         self._events: List[TraceEvent] = []
+
+    @classmethod
+    def from_events(cls, events: Iterable[SimEvent]) -> "TraceRecorder":
+        """Render typed events into the legacy text-trace format.
+
+        Events without a legacy counterpart (designations, backoff
+        scheduling, hello beacons, NACKs) are skipped — the old recorder
+        never saw them.
+        """
+        recorder = cls()
+        for event in events:
+            rendered = event.legacy()
+            if rendered is None:
+                continue
+            kind, detail = rendered
+            recorder.record(event.time, kind, event.node, detail)
+        return recorder
 
     def record(self, time: float, kind: str, node: int, detail: str = "") -> None:
         """Append one event."""

@@ -68,6 +68,33 @@ class TestDeterminism:
             RunSettings(jobs=0)
 
 
+class TestInstrumentedParallel:
+    def test_jobs_4_counters_equal_serial_exactly(self):
+        panel = _panel(_fr_protocol)
+        serial = run_panel(panel, RunSettings(**FAST, jobs=1, instrument=True))
+        pooled = run_panel(panel, RunSettings(**FAST, jobs=4, instrument=True))
+        # Per-point counters ship back from the workers inside the
+        # DataPoints and must equal the serial run field for field —
+        # point by point and in the merged totals.
+        for serial_series, pooled_series in zip(serial.series, pooled.series):
+            for serial_point, pooled_point in zip(
+                serial_series.points, pooled_series.points
+            ):
+                assert serial_point.counters is not None
+                assert serial_point.counters == pooled_point.counters
+        assert serial.total_counters() == pooled.total_counters()
+        assert serial.total_counters()["transmissions"] > 0
+
+    def test_uninstrumented_points_carry_no_counters(self):
+        panel = _panel(_fr_protocol, ns=(15,))
+        table = run_panel(panel, RunSettings(**FAST, jobs=2))
+        assert all(
+            point.counters is None
+            for series in table.series
+            for point in series.points
+        )
+
+
 class TestCrashRecovery:
     def test_worker_crash_is_redispatched_once(self):
         panel = _panel(_worker_only_bomb)

@@ -26,6 +26,36 @@ class TestSeries:
         assert series.value_at(1) == 2.0
         assert series.value_at(99) is None
 
+    def test_value_at_tolerates_float_arithmetic(self):
+        # 0.1 + 0.2 != 0.3 exactly; value_at must still find the point.
+        series = Series(label="s")
+        series.add(DataPoint(x=0.1 + 0.2, mean=5.0))
+        assert series.value_at(0.3) == 5.0
+        assert series.value_at(0.31) is None
+
+    def test_total_counters_merges_points(self):
+        series = Series(label="s")
+        series.add(DataPoint(x=1, mean=2.0, counters={"transmissions": 3}))
+        series.add(
+            DataPoint(
+                x=2,
+                mean=3.0,
+                counters={
+                    "transmissions": 4,
+                    "scheduler_max_queue_depth": 9,
+                },
+            )
+        )
+        series.add(DataPoint(x=3, mean=4.0))  # uninstrumented: skipped
+        totals = series.total_counters()
+        assert totals["transmissions"] == 7
+        assert totals["scheduler_max_queue_depth"] == 9
+
+    def test_total_counters_none_when_uninstrumented(self):
+        series = Series(label="s")
+        series.add(DataPoint(x=1, mean=2.0))
+        assert series.total_counters() is None
+
 
 class TestResultTable:
     def test_xs_union_sorted(self):
@@ -37,6 +67,17 @@ class TestResultTable:
         assert table.get_series("A").label == "A"
         with pytest.raises(KeyError):
             table.get_series("missing")
+
+    def test_total_counters_spans_series(self):
+        table = _sample_table()
+        assert table.total_counters() is None
+        table.get_series("A").add(
+            DataPoint(x=60, mean=1.0, counters={"decisions": 2})
+        )
+        table.get_series("B").add(
+            DataPoint(x=60, mean=1.0, counters={"decisions": 5})
+        )
+        assert table.total_counters()["decisions"] == 7
 
 
 class TestFormatTable:

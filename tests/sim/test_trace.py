@@ -1,5 +1,6 @@
-"""Tests for the trace recorder."""
+"""Tests for the deprecated trace-recorder shim over typed events."""
 
+from repro.sim.events import Decide, Deliver, Designate, Transmit
 from repro.sim.trace import TraceEvent, TraceRecorder
 
 
@@ -33,3 +34,26 @@ class TestTrace:
         assert "from 1" in str(event)
         bare = TraceEvent(2.0, "receive", 4)
         assert str(bare).endswith("node 4")
+
+
+class TestFromEvents:
+    def test_renders_legacy_kinds_and_details(self):
+        trace = TraceRecorder.from_events(
+            [
+                Transmit(time=0.0, node=1, designated=(2,)),
+                Deliver(time=1.0, node=2, sender=1),
+                Decide(time=1.0, node=2, forward=False, reason="timer"),
+            ]
+        )
+        assert [e.kind for e in trace] == ["transmit", "receive", "decide"]
+        assert trace.events("receive")[0].detail == "from 1"
+        assert trace.events("transmit")[0].detail == "designates [2]"
+
+    def test_skips_events_without_legacy_form(self):
+        trace = TraceRecorder.from_events(
+            [
+                Designate(time=0.0, node=1, designated=(2,)),
+                Transmit(time=0.0, node=1, designated=(2,)),
+            ]
+        )
+        assert [e.kind for e in trace] == ["transmit"]

@@ -1,0 +1,103 @@
+"""Tests for the instrumentation counters and their collection scopes."""
+
+import pytest
+
+from repro.instrument import (
+    MAX_FIELDS,
+    InstrumentationCounters,
+    active,
+    collecting,
+    merge_counter_dicts,
+)
+
+
+class TestCounters:
+    def test_defaults_are_zero(self):
+        counters = InstrumentationCounters()
+        assert counters.total_work() == 0
+        assert all(v == 0 for v in counters.as_dict().values())
+
+    def test_merge_sums_and_maxes(self):
+        a = InstrumentationCounters(
+            transmissions=3, scheduler_max_queue_depth=5
+        )
+        b = InstrumentationCounters(
+            transmissions=4, scheduler_max_queue_depth=2
+        )
+        a.merge(b)
+        assert a.transmissions == 7
+        assert a.scheduler_max_queue_depth == 5  # max, not 7
+
+    def test_add_returns_fresh_object(self):
+        a = InstrumentationCounters(decisions=1)
+        b = InstrumentationCounters(decisions=2)
+        c = a + b
+        assert c.decisions == 3
+        assert a.decisions == 1 and b.decisions == 2
+
+    def test_dict_round_trip(self):
+        counters = InstrumentationCounters(bfs_runs=9, mac_losses=2)
+        rebuilt = InstrumentationCounters.from_dict(counters.as_dict())
+        assert rebuilt == counters
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(KeyError):
+            InstrumentationCounters.from_dict({"not_a_counter": 1})
+
+    def test_max_fields_are_real_fields(self):
+        names = set(InstrumentationCounters().as_dict())
+        assert MAX_FIELDS <= names
+
+
+class TestCollecting:
+    def test_no_scope_means_inactive(self):
+        assert active() is None
+
+    def test_scope_yields_counters(self):
+        with collecting() as counters:
+            assert active() is counters
+            counters.transmissions += 1
+        assert active() is None
+        assert counters.transmissions == 1
+
+    def test_nested_scope_merges_into_parent(self):
+        with collecting() as outer:
+            outer.decisions += 1
+            with collecting() as inner:
+                inner.decisions += 5
+                inner.scheduler_max_queue_depth = 7
+            assert outer.decisions == 6
+            assert outer.scheduler_max_queue_depth == 7
+        assert inner.decisions == 5
+
+    def test_scope_pops_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with collecting():
+                raise RuntimeError("boom")
+        assert active() is None
+
+    def test_explicit_counters_accumulate_across_scopes(self):
+        counters = InstrumentationCounters()
+        for _ in range(3):
+            with collecting(counters):
+                counters.nacks += 1
+        assert counters.nacks == 3
+
+
+class TestMergeCounterDicts:
+    def test_merges_sum_and_max_semantics(self):
+        payloads = [
+            InstrumentationCounters(
+                transmissions=2, scheduler_max_queue_depth=4
+            ).as_dict(),
+            InstrumentationCounters(
+                transmissions=3, scheduler_max_queue_depth=9
+            ).as_dict(),
+        ]
+        merged = merge_counter_dicts(payloads)
+        assert merged["transmissions"] == 5
+        assert merged["scheduler_max_queue_depth"] == 9
+
+    def test_empty_iterable_gives_zeroes(self):
+        merged = merge_counter_dicts([])
+        assert all(v == 0 for v in merged.values())
