@@ -29,11 +29,18 @@ __all__ = ["coverage_map", "greedy_cover_designation"]
 def coverage_map(
     view_graph: Topology, candidates: Iterable[int], targets: Set[int]
 ) -> Dict[int, Set[int]]:
-    """Per-candidate effective coverage ``N(w) ∩ targets`` in the view."""
+    """Per-candidate effective coverage ``N(w) ∩ targets`` in the view.
+
+    One mask intersection per candidate against the target bitmask
+    (out-of-view targets drop out of the mask, matching the old
+    set-intersection semantics).
+    """
+    index, masks = view_graph.adjacency_masks()
+    targets_mask = index.mask_of(t for t in targets if t in index)
     return {
-        w: set(view_graph.neighbors(w)) & targets
+        w: set(index.members(masks[index.position(w)] & targets_mask))
         for w in candidates
-        if w in view_graph
+        if w in index
     }
 
 

@@ -154,18 +154,30 @@ class GenericNeighborDesignating(BroadcastProtocol):
     def designate(self, ctx: NodeContext) -> FrozenSet[int]:
         graph = ctx.view_graph
         node = ctx.node
-        neighbors = set(graph.neighbors(node))
-        targets = set(graph.k_hop_neighbors(node, 2)) - neighbors - {node}
-        candidates = neighbors - ctx.known_visited - ctx.known_designated
+        index, masks = graph.adjacency_masks()
+        neighbors_mask = masks[index.position(node)]
+        targets_mask = (
+            graph.k_hop_mask(node, 2) & ~neighbors_mask & ~index.bit(node)
+        )
+        candidates = (
+            set(index.members(neighbors_mask))
+            - ctx.known_visited
+            - ctx.known_designated
+        )
         sender = ctx.first_sender
-        if sender is not None and sender in graph:
-            sender_nbrs = set(graph.neighbors(sender))
-            candidates -= sender_nbrs | {sender}
-            targets -= sender_nbrs | {sender}
+        if sender is not None and sender in index:
+            sender_closed = (
+                masks[index.position(sender)] | index.bit(sender)
+            )
+            candidates -= set(index.members(sender_closed))
+            targets_mask &= ~sender_closed
         # 2-hop targets already covered by known visited nodes or by nodes
         # someone already designated (under the strict rule those are
         # guaranteed to forward, so their neighborhoods are handled).
         for handled in ctx.known_visited | ctx.known_designated:
-            if handled in graph:
-                targets -= set(graph.neighbors(handled)) | {handled}
+            if handled in index:
+                targets_mask &= ~(
+                    masks[index.position(handled)] | index.bit(handled)
+                )
+        targets = set(index.members(targets_mask))
         return greedy_cover_designation(graph, candidates, targets)

@@ -19,15 +19,35 @@ at most three hops (at most two intermediates).
 All three operate on a :class:`~repro.core.views.View` and honour the
 "visited nodes are mutually connected" convention when
 ``view.visited_connected`` is set.
+
+Backends
+--------
+Two interchangeable implementations compute every predicate:
+
+* ``bitset`` (the default) — the node-indexed bitmask kernel: the
+  higher-priority eligible set is a priority-threshold mask read off a
+  per-view suffix table, components come from word-parallel flood-fills
+  (:func:`repro.graph.nodeindex.flood_fill` replaces the union-find
+  pass), each neighbor's component reach is a bitmap so a pair check is
+  one ``&``, and domination is ``targets & ~cover == 0``.
+* ``sets`` — the original frozenset/union-find implementation, kept as
+  the executable reference.
+
+Select with ``REPRO_COVERAGE_BACKEND=sets`` (or ``bitset``); the test
+suite cross-checks that both produce identical results — forward sets are
+byte-identical across backends.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+import os
+from typing import Dict, FrozenSet, List, Set, Tuple
 
+from ..graph.nodeindex import flood_fill
 from ..instrument import _STACK as _COUNTER_STACK
+from . import status as st
 from .unionfind import DisjointSet
-from .views import View
+from .views import View, view_cache
 
 __all__ = [
     "coverage_condition",
@@ -35,28 +55,41 @@ __all__ = [
     "span_condition",
     "uncovered_pairs",
     "higher_priority_components",
+    "coverage_backend",
 ]
+
+_BACKENDS = ("bitset", "sets")
+
+
+def coverage_backend() -> str:
+    """The active backend name, from ``REPRO_COVERAGE_BACKEND``.
+
+    ``bitset`` (default) or ``sets``.  Read per call so tests and A/B
+    benchmarks can flip the environment variable between evaluations;
+    memoised results are keyed by backend, so flipping mid-view is safe.
+    """
+    backend = os.environ.get("REPRO_COVERAGE_BACKEND", "bitset")
+    if backend not in _BACKENDS:
+        raise ValueError(
+            f"REPRO_COVERAGE_BACKEND must be one of {_BACKENDS}, "
+            f"got {backend!r}"
+        )
+    return backend
 
 
 def _memo(view: View, key, compute):
     """Per-view memoisation for the coverage hot path.
 
     Views are immutable value objects, so any derived quantity — the
-    higher-priority DSU, component membership, neighbor reach — is stable
-    for the view's lifetime and can be shared between
+    higher-priority decomposition, component membership, neighbor reach —
+    is stable for the view's lifetime and can be shared between
     :func:`uncovered_pairs`, :func:`coverage_condition`, and
     :func:`strong_coverage_condition` instead of being recomputed per
-    call.  The cache rides on the view instance itself (``with_status``
-    and every view constructor return fresh instances, so a state change
-    never sees a stale cache).
+    call.  The cache rides on the view instance itself (see
+    :func:`repro.core.views.view_cache`); keys carry the backend name
+    wherever the computation differs per backend.
     """
-    try:
-        cache = view._coverage_memo  # type: ignore[attr-defined]
-    except AttributeError:
-        cache = {}
-        # View is a frozen dataclass; attach the cache without tripping
-        # its immutability guard.
-        object.__setattr__(view, "_coverage_memo", cache)
+    cache = view_cache(view)
     if key not in cache:
         if _COUNTER_STACK:
             _COUNTER_STACK[-1].coverage_memo_misses += 1
@@ -64,6 +97,153 @@ def _memo(view: View, key, compute):
     elif _COUNTER_STACK:
         _COUNTER_STACK[-1].coverage_memo_hits += 1
     return cache[key]
+
+
+# ----------------------------------------------------------------------
+# Bitset backend: per-view base tables
+# ----------------------------------------------------------------------
+
+
+class _MaskBase:
+    """Per-view bitmask tables shared by every predicate.
+
+    ``index``/``masks`` come straight from the view graph's epoch-cached
+    adjacency table; ``keys`` holds each node's full priority key in
+    bit-position order; ``higher[v]`` is the priority-threshold mask —
+    all nodes whose key ranks strictly above ``v``'s — precomputed as a
+    suffix scan over the priority order, so one O(n log n) sort serves
+    every ``v`` evaluated under the same view.
+    """
+
+    __slots__ = ("index", "masks", "keys", "higher", "visited_mask")
+
+    def __init__(self, view: View) -> None:
+        index, masks = view.graph.adjacency_masks()
+        self.index = index
+        self.masks = masks
+        # Inlined View.priority for the visible universe: every indexed
+        # node is in the graph by construction, so the invisible-node
+        # branch and the per-call function overhead drop out.
+        status = view.status
+        metrics = view.metrics
+        padding = view.metric_padding
+        unvisited = st.UNVISITED
+        self.keys = [
+            (status.get(node, unvisited), *metrics.get(node, padding),
+             float(node))
+            for node in index.nodes
+        ]
+        nodes = index.nodes
+        keys = self.keys
+        order = sorted(range(len(nodes)), key=keys.__getitem__)
+        higher: Dict[int, int] = {}
+        above = 0
+        for position in reversed(order):
+            higher[nodes[position]] = above
+            above |= 1 << position
+        self.higher = higher
+        self.visited_mask = view.visited_mask
+
+    def eligible_mask(self, view: View, v: int) -> int:
+        """Nodes (other than ``v``) ranking strictly above ``Pr(v)``.
+
+        For a visible ``v`` this is one suffix-table lookup; for an
+        invisible ``v`` (possible through
+        :func:`higher_priority_components`) the threshold mask is built
+        by a linear key scan against ``v``'s invisible-rank key.
+        """
+        mask = self.higher.get(v)
+        if mask is None:
+            threshold = view.priority(v)
+            mask = 0
+            for position, key in enumerate(self.keys):
+                if key > threshold:
+                    mask |= 1 << position
+        return mask
+
+
+def _mask_base(view: View) -> _MaskBase:
+    return _memo(view, ("mask-base",), lambda: _MaskBase(view))
+
+
+def _component_masks(view: View, v: int) -> List[int]:
+    """Higher-priority components of ``v`` as masks (memoised)."""
+    return _memo(
+        view,
+        ("component-masks", v),
+        lambda: _component_masks_compute(view, v),
+    )
+
+
+def _component_masks_compute(view: View, v: int) -> List[int]:
+    if _COUNTER_STACK:
+        _COUNTER_STACK[-1].component_decompositions += 1
+    base = _mask_base(view)
+    eligible = base.eligible_mask(view, v)
+    masks = base.masks
+    components: List[int] = []
+    remaining = eligible
+    while remaining:
+        if _COUNTER_STACK:
+            _COUNTER_STACK[-1].mask_floodfills += 1
+        component = flood_fill(remaining & -remaining, eligible, masks)
+        remaining &= ~component
+        components.append(component)
+    if view.visited_connected:
+        visited = base.visited_mask & eligible
+        if visited:
+            # All visited nodes are connected through the source even when
+            # the view cannot see how: fuse their components into one.
+            merged = 0
+            separate: List[int] = []
+            for component in components:
+                if component & visited:
+                    merged |= component
+                else:
+                    separate.append(component)
+            if merged:
+                components = [merged] + separate
+    return components
+
+
+def _reach_bitmaps(view: View, v: int) -> Dict[int, int]:
+    """Per-neighbor component-reach bitmaps (memoised).
+
+    ``reach[u]`` has bit ``i`` set when neighbor ``u`` of ``v`` belongs
+    to or touches component ``i`` of the higher-priority decomposition.
+    A replacement path for the pair ``(u, w)`` exists exactly when its
+    intermediates lie inside one component adjacent to both ends, so the
+    pair is replaceable iff ``reach[u] & reach[w]`` is non-zero (or the
+    direct edge exists).
+    """
+    return _memo(
+        view, ("reach-bitmaps", v), lambda: _reach_bitmaps_compute(view, v)
+    )
+
+
+def _reach_bitmaps_compute(view: View, v: int) -> Dict[int, int]:
+    base = _mask_base(view)
+    index, masks = base.index, base.masks
+    components = _component_masks(view, v)
+    node_at = index.node_at
+    reach: Dict[int, int] = {}
+    remaining = masks[index.position(v)]
+    while remaining:
+        low = remaining & -remaining
+        remaining ^= low
+        position = low.bit_length() - 1
+        closed = low | masks[position]
+        bitmap = 0
+        for i, component in enumerate(components):
+            if closed & component:
+                bitmap |= 1 << i
+        reach[node_at(position)] = bitmap
+    return reach
+
+
+# ----------------------------------------------------------------------
+# Sets backend: the original frozenset/union-find reference
+# ----------------------------------------------------------------------
 
 
 def _higher_priority_nodes(view: View, v: int) -> Set[int]:
@@ -76,23 +256,7 @@ def _higher_priority_nodes(view: View, v: int) -> Set[int]:
     }
 
 
-def higher_priority_components(view: View, v: int) -> List[Set[int]]:
-    """Connected components of the higher-priority subgraph for ``v``.
-
-    Components are taken in ``view.graph`` minus ``v`` restricted to nodes
-    with priority above ``Pr(v)``; when ``view.visited_connected`` holds,
-    all visited nodes are additionally fused into one component (they are
-    all connected through the source even if the view cannot see how).
-
-    The result is memoised per ``(view, v)`` and shared by every coverage
-    predicate; treat the returned sets as read-only.
-    """
-    return _memo(
-        view, ("components", v), lambda: _components_compute(view, v)
-    )
-
-
-def _components_compute(view: View, v: int) -> List[Set[int]]:
+def _components_compute_sets(view: View, v: int) -> List[Set[int]]:
     if _COUNTER_STACK:
         _COUNTER_STACK[-1].component_decompositions += 1
     eligible = _higher_priority_nodes(view, v)
@@ -108,22 +272,18 @@ def _components_compute(view: View, v: int) -> List[Set[int]]:
     return dsu.groups()
 
 
-def _component_reach(view: View, v: int) -> Tuple[List[Set[int]], Dict[int, Set[int]]]:
-    """Components of the higher-priority subgraph and neighbor adjacency.
-
-    Returns ``(components, reach)`` where ``reach[u]`` is the set of
-    component indices that neighbor ``u`` of ``v`` belongs to or touches.
-    A replacement path for the pair ``(u, w)`` exists exactly when its
-    intermediates lie inside one such component adjacent to both ends, so
-    the pair is replaceable iff ``reach[u] ∩ reach[w]`` is non-empty (or
-    the direct edge exists).  Memoised per ``(view, v)``.
-    """
+def _component_reach_sets(
+    view: View, v: int
+) -> Tuple[List[Set[int]], Dict[int, Set[int]]]:
+    """Components and neighbor reach under the sets backend (memoised)."""
     return _memo(
-        view, ("reach", v), lambda: _component_reach_compute(view, v)
+        view,
+        ("reach", v, "sets"),
+        lambda: _component_reach_compute_sets(view, v),
     )
 
 
-def _component_reach_compute(
+def _component_reach_compute_sets(
     view: View, v: int
 ) -> Tuple[List[Set[int]], Dict[int, Set[int]]]:
     components = higher_priority_components(view, v)
@@ -143,23 +303,64 @@ def _component_reach_compute(
     return components, reach
 
 
+# ----------------------------------------------------------------------
+# Public predicates (backend-dispatching)
+# ----------------------------------------------------------------------
+
+
+def higher_priority_components(view: View, v: int) -> List[Set[int]]:
+    """Connected components of the higher-priority subgraph for ``v``.
+
+    Components are taken in ``view.graph`` minus ``v`` restricted to nodes
+    with priority above ``Pr(v)``; when ``view.visited_connected`` holds,
+    all visited nodes are additionally fused into one component (they are
+    all connected through the source even if the view cannot see how).
+
+    The result is memoised per ``(view, v)`` and shared by every coverage
+    predicate; treat the returned sets as read-only.  Component order is
+    backend-dependent (their set of sets is not).
+    """
+    if coverage_backend() == "sets":
+        return _memo(
+            view,
+            ("components", v, "sets"),
+            lambda: _components_compute_sets(view, v),
+        )
+    return _memo(
+        view,
+        ("components", v, "bitset"),
+        lambda: [
+            set(view.index.members(mask))
+            for mask in _component_masks(view, v)
+        ],
+    )
+
+
 def uncovered_pairs(view: View, v: int) -> List[Tuple[int, int]]:
     """Neighbor pairs of ``v`` lacking a replacement path.
 
     The coverage condition holds exactly when this list is empty.  Exposed
     for diagnostics, tests, and the example walkthroughs.  Memoised per
-    ``(view, v)``.
+    ``(view, v)``; both backends produce the identical (sorted-pair) list.
     """
     if v not in view.graph:
         raise KeyError(f"node {v} not visible in the view")
+    if coverage_backend() == "sets":
+        return _memo(
+            view,
+            ("uncovered", v, "sets"),
+            lambda: _uncovered_pairs_compute_sets(view, v),
+        )
     return _memo(
-        view, ("uncovered", v), lambda: _uncovered_pairs_compute(view, v)
+        view,
+        ("uncovered", v, "bitset"),
+        lambda: _uncovered_pairs_compute_bitset(view, v),
     )
 
 
-def _uncovered_pairs_compute(view: View, v: int) -> List[Tuple[int, int]]:
+def _uncovered_pairs_compute_sets(view: View, v: int) -> List[Tuple[int, int]]:
     neighbors = sorted(view.graph.neighbors(v))
-    _components, reach = _component_reach(view, v)
+    _components, reach = _component_reach_sets(view, v)
     failing: List[Tuple[int, int]] = []
     for i, u in enumerate(neighbors):
         for w in neighbors[i + 1:]:
@@ -175,6 +376,38 @@ def _uncovered_pairs_compute(view: View, v: int) -> List[Tuple[int, int]]:
                 # Visited endpoints are mutually connected by convention.
                 continue
             failing.append((u, w))
+    return failing
+
+
+def _uncovered_pairs_compute_bitset(
+    view: View, v: int
+) -> List[Tuple[int, int]]:
+    base = _mask_base(view)
+    index, masks = base.index, base.masks
+    position = index.position
+    reach = _reach_bitmaps(view, v)
+    visited = base.visited_mask if view.visited_connected else 0
+    neighbors = sorted(index.members(masks[position(v)]))
+    # Hoist every per-node lookup out of the O(deg^2) pair loop.
+    positions = [position(u) for u in neighbors]
+    bits = [1 << p for p in positions]
+    adjacency = [masks[p] for p in positions]
+    reaches = [reach[u] for u in neighbors]
+    count = len(neighbors)
+    failing: List[Tuple[int, int]] = []
+    for i in range(count):
+        adjacency_u = adjacency[i]
+        reach_u = reaches[i]
+        u_visited = visited & bits[i]
+        for j in range(i + 1, count):
+            if adjacency_u & bits[j]:
+                continue
+            if reach_u & reaches[j]:
+                continue
+            if u_visited and visited & bits[j]:
+                # Visited endpoints are mutually connected by convention.
+                continue
+            failing.append((neighbors[i], neighbors[j]))
     return failing
 
 
@@ -202,11 +435,36 @@ def strong_coverage_condition(view: View, v: int) -> bool:
         raise KeyError(f"node {v} not visible in the view")
     if _COUNTER_STACK:
         _COUNTER_STACK[-1].coverage_evaluations += 1
-    neighbors = view.graph.neighbors(v)
-    if not neighbors:
+    if coverage_backend() == "sets":
+        neighbors = view.graph.neighbors(v)
+        if not neighbors:
+            return True
+        for component in higher_priority_components(view, v):
+            if _dominates(view, component, neighbors):
+                return True
+        return False
+    return _memo(
+        view,
+        ("strong", v),
+        lambda: _strong_coverage_compute_bitset(view, v),
+    )
+
+
+def _strong_coverage_compute_bitset(view: View, v: int) -> bool:
+    base = _mask_base(view)
+    index, masks = base.index, base.masks
+    targets = masks[index.position(v)]
+    if not targets:
         return True
-    for component in higher_priority_components(view, v):
-        if _dominates(view, component, neighbors):
+    for component in _component_masks(view, v):
+        # cover = component ∪ N(component); domination is a single test.
+        cover = component
+        remaining = component
+        while remaining:
+            low = remaining & -remaining
+            cover |= masks[low.bit_length() - 1]
+            remaining ^= low
+        if targets & ~cover == 0:
             return True
     return False
 
@@ -226,6 +484,10 @@ def span_condition(view: View, v: int, max_intermediates: int = 2) -> bool:
     (Span predates broadcast-state piggybacking).  With the default of two
     intermediates this is exactly the paper's "replacement path no more
     than three hops".
+
+    The eligible intermediate set and every pair's path verdict are
+    memoised per view, so re-evaluations (and the pair overlap between
+    nodes sharing a view) stop re-running the bounded BFS.
     """
     if max_intermediates < 0:
         raise ValueError(
@@ -235,23 +497,62 @@ def span_condition(view: View, v: int, max_intermediates: int = 2) -> bool:
         raise KeyError(f"node {v} not visible in the view")
     if _COUNTER_STACK:
         _COUNTER_STACK[-1].coverage_evaluations += 1
-    neighbors = sorted(view.graph.neighbors(v))
-    eligible = {
-        node
-        for node in _higher_priority_nodes(view, v)
-        if not view.is_visited(node)
-    }
+    backend = coverage_backend()
+    return _memo(
+        view,
+        ("span", v, max_intermediates, backend),
+        lambda: _span_compute(view, v, max_intermediates, backend),
+    )
+
+
+def _span_compute(
+    view: View, v: int, max_intermediates: int, backend: str
+) -> bool:
+    if backend == "sets":
+        eligible = _memo(
+            view,
+            ("span-eligible", v, "sets"),
+            lambda: frozenset(
+                node
+                for node in _higher_priority_nodes(view, v)
+                if not view.is_visited(node)
+            ),
+        )
+        neighbors = sorted(view.graph.neighbors(v))
+        for i, u in enumerate(neighbors):
+            for w in neighbors[i + 1:]:
+                if not _memo(
+                    view,
+                    ("span-pair", v, u, w, max_intermediates, "sets"),
+                    lambda u=u, w=w: _bounded_replacement_path_sets(
+                        view, u, w, eligible, max_intermediates
+                    ),
+                ):
+                    return False
+        return True
+    base = _mask_base(view)
+    index, masks = base.index, base.masks
+    eligible = _memo(
+        view,
+        ("span-eligible", v, "bitset"),
+        lambda: base.eligible_mask(view, v) & ~base.visited_mask,
+    )
+    neighbors = sorted(index.members(masks[index.position(v)]))
     for i, u in enumerate(neighbors):
         for w in neighbors[i + 1:]:
-            if not _bounded_replacement_path(
-                view, u, w, eligible, max_intermediates
+            if not _memo(
+                view,
+                ("span-pair", v, u, w, max_intermediates, "bitset"),
+                lambda u=u, w=w: _bounded_replacement_path_bitset(
+                    index, masks, u, w, eligible, max_intermediates
+                ),
             ):
                 return False
     return True
 
 
-def _bounded_replacement_path(
-    view: View, u: int, w: int, eligible: Set[int], max_intermediates: int
+def _bounded_replacement_path_sets(
+    view: View, u: int, w: int, eligible: FrozenSet[int], max_intermediates: int
 ) -> bool:
     """BFS through ``eligible`` from ``u`` to ``w`` with bounded length."""
     if view.graph.has_edge(u, w):
@@ -270,4 +571,29 @@ def _bounded_replacement_path(
             for y in view.graph.neighbors(x)
             if y in eligible and y not in seen
         }
+    return False
+
+
+def _bounded_replacement_path_bitset(
+    index, masks, u: int, w: int, eligible: int, max_intermediates: int
+) -> bool:
+    """Mask-frontier BFS through ``eligible`` with bounded path length."""
+    adjacency_u = masks[index.position(u)]
+    adjacency_w = masks[index.position(w)]
+    if adjacency_u & index.bit(w):
+        return True
+    seen = 0
+    frontier = adjacency_u & eligible
+    for _used in range(1, max_intermediates + 1):
+        if not frontier:
+            return False
+        if frontier & adjacency_w:
+            return True
+        seen |= frontier
+        grow = 0
+        while frontier:
+            low = frontier & -frontier
+            grow |= masks[low.bit_length() - 1]
+            frontier ^= low
+        frontier = grow & eligible & ~seen
     return False

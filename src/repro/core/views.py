@@ -23,11 +23,31 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Set, Tuple
 
+from ..graph.nodeindex import NodeIndex
 from ..graph.topology import Topology
 from . import status as st
 from .priority import PriorityKey, PriorityScheme, make_key
 
-__all__ = ["View", "global_view", "local_view", "super_view"]
+__all__ = ["View", "global_view", "local_view", "super_view", "view_cache"]
+
+
+def view_cache(view: "View") -> Dict:
+    """The per-view derived-value cache (lazily attached).
+
+    Views are immutable value objects, so anything derived from one — a
+    status bitmask, the coverage machinery's component decomposition —
+    is stable for the view's lifetime and can be memoised on the
+    instance itself.  ``with_status`` and every view constructor return
+    fresh instances, so a state change never sees a stale cache.  The
+    dict is attached with ``object.__setattr__`` to bypass the frozen
+    dataclass guard.
+    """
+    try:
+        return view._derived_cache  # type: ignore[attr-defined]
+    except AttributeError:
+        cache: Dict = {}
+        object.__setattr__(view, "_derived_cache", cache)
+        return cache
 
 
 @dataclass(frozen=True)
@@ -71,19 +91,51 @@ class View:
         metric = self.metrics.get(node, self.metric_padding)
         return make_key(self.status_of(node), metric, node)
 
+    @property
+    def index(self) -> NodeIndex:
+        """The visible graph's node → bit-position mapping."""
+        return self.graph.node_index()
+
+    def _status_mask(self, threshold: float) -> int:
+        """Mask of visible nodes with status at or above ``threshold``.
+
+        Only the explicit status mapping is scanned: unrecorded nodes sit
+        at un-visited (1.0), below every threshold used here.
+        """
+        index = self.graph.node_index()
+        mask = 0
+        for node, value in self.status.items():
+            if value >= threshold and node in index:
+                mask |= index.bit(node)
+        return mask
+
+    @property
+    def visited_mask(self) -> int:
+        """Visited nodes as a bitmask under :attr:`index` (memoised)."""
+        cache = view_cache(self)
+        mask = cache.get("visited_mask")
+        if mask is None:
+            mask = self._status_mask(st.VISITED)
+            cache["visited_mask"] = mask
+        return mask
+
+    @property
+    def designated_mask(self) -> int:
+        """Designated-or-higher nodes as a bitmask (memoised)."""
+        cache = view_cache(self)
+        mask = cache.get("designated_mask")
+        if mask is None:
+            mask = self._status_mask(st.DESIGNATED)
+            cache["designated_mask"] = mask
+        return mask
+
     def visited(self) -> FrozenSet[int]:
         """All visible nodes with visited status."""
-        return frozenset(
-            node for node in self.graph if self.status_of(node) >= st.VISITED
-        )
+        return frozenset(self.index.members(self.visited_mask))
 
     def designated(self) -> FrozenSet[int]:
         """All visible nodes with designated-or-higher status."""
-        return frozenset(
-            node
-            for node in self.graph
-            if self.status_of(node) >= st.DESIGNATED
-        )
+        return frozenset(self.index.members(self.designated_mask))
 
     def is_visited(self, node: int) -> bool:
         """Whether ``node`` is visible and visited."""
@@ -129,8 +181,10 @@ def _restrict_metrics(
 
 
 def _restrict_status(
-    visited: Iterable[int], designated: Iterable[int], visible: Set[int]
+    visited: Iterable[int], designated: Iterable[int], visible
 ) -> Dict[int, float]:
+    """Status map over ``visible`` (anything supporting ``in`` — a set or
+    a :class:`Topology`, so callers need not re-materialise node sets)."""
     status: Dict[int, float] = {}
     for node in designated:
         if node in visible:
@@ -154,11 +208,10 @@ def global_view(
     ``scheme.metrics(graph)`` per deployment) to avoid recomputation in
     sweeps.
     """
-    node_set = set(graph.nodes())
     table = metrics if metrics is not None else scheme.metrics(graph)
     return View(
         graph=graph,
-        status=_restrict_status(visited, designated, node_set),
+        status=_restrict_status(visited, designated, graph),
         metrics=dict(table),
         metric_padding=scheme.padding(),
     )
@@ -181,12 +234,11 @@ def local_view(
     deployment graph, not on the truncated view graph.
     """
     view_graph = graph.k_hop_view_graph(center, k)
-    visible = set(view_graph.nodes())
     table = metrics if metrics is not None else scheme.metrics(graph)
     return View(
         graph=view_graph,
-        status=_restrict_status(visited, designated, visible),
-        metrics=_restrict_metrics(table, visible, scheme.padding()),
+        status=_restrict_status(visited, designated, view_graph),
+        metrics=_restrict_metrics(table, view_graph, scheme.padding()),
         metric_padding=scheme.padding(),
     )
 

@@ -1,6 +1,7 @@
 """Graph and geometry substrates: unit-disk networks, CDS tools, mobility."""
 
 from .geometry import Area, Point, distance, grid_points, random_points
+from .nodeindex import NodeIndex, flood_fill, popcount
 from .topology import Topology
 from .unit_disk import (
     UnitDiskGraph,
@@ -35,6 +36,9 @@ __all__ = [
     "distance",
     "grid_points",
     "random_points",
+    "NodeIndex",
+    "flood_fill",
+    "popcount",
     "Topology",
     "UnitDiskGraph",
     "build_unit_disk_graph",

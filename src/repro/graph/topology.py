@@ -23,6 +23,13 @@ node, ``remove_node``) bumps the epoch and lazily drops the cache, so
 mobility snapshots and incremental edits stay correct while repeated
 queries on a static deployment — the experiment hot path — are free after
 the first computation.
+
+The subset-algebra kernels (k-hop frontiers, view-graph extraction,
+induced subgraphs, connected components) run on the node-indexed bitmask
+layer of :mod:`repro.graph.nodeindex`: :meth:`Topology.node_index` pins a
+stable node → bit-position mapping and :meth:`Topology.adjacency_masks`
+caches one ``int`` neighbor mask per node, both invalidated by the same
+mutation epoch as every other memoised query.
 """
 
 from __future__ import annotations
@@ -41,6 +48,7 @@ from typing import (
 )
 
 from ..instrument import _STACK as _COUNTER_STACK
+from .nodeindex import NodeIndex, flood_fill, popcount
 
 __all__ = ["Topology"]
 
@@ -116,6 +124,18 @@ class Topology:
         clone._adj = {node: set(nbrs) for node, nbrs in self._adj.items()}
         return clone
 
+    @classmethod
+    def _from_adjacency(cls, adj: Dict[int, Set[int]]) -> "Topology":
+        """Wrap a ready-made adjacency dict (ownership transfers).
+
+        Internal fast path for the mask-based extractors: the dict must
+        be symmetric, self-loop-free, and exclusively owned by the new
+        graph.
+        """
+        graph = cls()
+        graph._adj = adj
+        return graph
+
     # ------------------------------------------------------------------
     # Query memoisation
     # ------------------------------------------------------------------
@@ -137,6 +157,83 @@ class Topology:
         elif _COUNTER_STACK:
             _COUNTER_STACK[-1].topology_cache_hits += 1
         return cache[key]
+
+    # ------------------------------------------------------------------
+    # Node-indexed bitmask layer
+    # ------------------------------------------------------------------
+
+    def node_index(self) -> NodeIndex:
+        """The node-id → bit-position mapping for the current epoch.
+
+        Positions follow node insertion order.  The index (like every
+        mask built against it) is memoised behind the mutation epoch: a
+        structural change produces a fresh index, so stale masks can
+        never be combined with fresh ones through this accessor.
+        """
+        return self._cached(("node_index",), lambda: NodeIndex(self._adj))
+
+    def adjacency_masks(self) -> Tuple[NodeIndex, Tuple[int, ...]]:
+        """``(index, masks)``: the per-node adjacency bitmask table.
+
+        ``masks[index.position(v)]`` is the neighbor mask ``N(v)``.  The
+        table is memoised per epoch and shared between callers — treat
+        it as a read-only snapshot.
+        """
+        return self._cached(("mask_table",), self._mask_table_compute)
+
+    def _mask_table_compute(self) -> Tuple[NodeIndex, Tuple[int, ...]]:
+        if _COUNTER_STACK:
+            _COUNTER_STACK[-1].mask_table_builds += 1
+        index = self.node_index()
+        position = index.position
+        masks: List[int] = []
+        for node in index:
+            row = 0
+            for neighbor in self._adj[node]:
+                row |= 1 << position(neighbor)
+            masks.append(row)
+        return index, tuple(masks)
+
+    def adjacency_mask(self, node: int) -> int:
+        """The neighbor mask ``N(node)`` under :meth:`node_index`."""
+        index, masks = self.adjacency_masks()
+        try:
+            return masks[index.position(node)]
+        except KeyError as exc:
+            raise KeyError(f"node {node} not in graph") from exc
+
+    def k_hop_mask(self, node: int, k: int) -> int:
+        """``N_k(node)`` as a bitmask (includes ``node``; memoised).
+
+        Each BFS level is one OR-sweep over the frontier's adjacency
+        rows — the word-parallel form of the recurrence
+        ``N_{k+1}(v) = ∪_{u ∈ N_k(v)} N(u) ∪ N_k(v)``.
+        """
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        if node not in self._adj:
+            raise KeyError(f"node {node} not in graph")
+        return self._cached(
+            ("k_hop_mask", node, k),
+            lambda: self._k_hop_mask_compute(node, k),
+        )
+
+    def _k_hop_mask_compute(self, node: int, k: int) -> int:
+        if _COUNTER_STACK:
+            _COUNTER_STACK[-1].mask_khop_runs += 1
+        index, masks = self.adjacency_masks()
+        seen = frontier = index.bit(node)
+        for _ in range(k):
+            grow = 0
+            while frontier:
+                low = frontier & -frontier
+                grow |= masks[low.bit_length() - 1]
+                frontier ^= low
+            frontier = grow & ~seen
+            if not frontier:
+                break
+            seen |= frontier
+        return seen
 
     # ------------------------------------------------------------------
     # Basic queries
@@ -320,21 +417,24 @@ class Topology:
         return len(self._bfs_distances_cached(first, None)) == len(self._adj)
 
     def connected_components(self) -> List[Set[int]]:
-        """All connected components as node sets."""
-        seen: Set[int] = set()
+        """All connected components as node sets (mask flood-fill)."""
+        index, masks = self.adjacency_masks()
+        remaining = index.universe()
         components: List[Set[int]] = []
         for node in self._adj:
-            if node in seen:
+            bit = index.bit(node)
+            if not remaining & bit:
                 continue
-            component = set(self._bfs_distances_cached(node, None))
-            seen |= component
-            components.append(component)
+            component = flood_fill(bit, remaining, masks)
+            remaining &= ~component
+            components.append(set(index.members(component)))
         return components
 
     def is_connected_subset(self, subset: Iterable[int]) -> bool:
         """Whether ``subset`` induces a connected subgraph.
 
-        The empty set and singletons count as connected.
+        The empty set and singletons count as connected.  One mask
+        flood-fill restricted to the subset.
         """
         members = set(subset)
         missing = members - set(self._adj)
@@ -342,16 +442,10 @@ class Topology:
             raise KeyError(f"nodes not in graph: {sorted(missing)}")
         if len(members) <= 1:
             return True
-        start = next(iter(members))
-        seen = {start}
-        frontier = deque([start])
-        while frontier:
-            node = frontier.popleft()
-            for neighbor in self._adj[node]:
-                if neighbor in members and neighbor not in seen:
-                    seen.add(neighbor)
-                    frontier.append(neighbor)
-        return seen == members
+        index, masks = self.adjacency_masks()
+        subset_mask = index.mask_of(members)
+        seed = subset_mask & -subset_mask
+        return flood_fill(seed, subset_mask, masks) == subset_mask
 
     def articulation_points(self) -> Set[int]:
         """All cut vertices (nodes whose removal disconnects a component).
@@ -428,11 +522,11 @@ class Topology:
     def k_hop_neighbors(self, node: int, k: int) -> Set[int]:
         """``N_k(node)``: all nodes within ``k`` hops, including ``node``.
 
-        ``N_0(v) = {v}`` and ``N_{k+1}(v) = ∪_{u ∈ N_k(v)} N(u) ∪ N_k(v)``.
+        ``N_0(v) = {v}`` and ``N_{k+1}(v) = ∪_{u ∈ N_k(v)} N(u) ∪ N_k(v)``
+        — computed as :meth:`k_hop_mask` and materialised.
         """
-        if k < 0:
-            raise ValueError(f"k must be non-negative, got {k}")
-        return set(self._bfs_distances_cached(node, k))
+        index = self.node_index()
+        return set(index.members(self.k_hop_mask(node, k)))
 
     def k_hop_view_graph(self, node: int, k: int) -> "Topology":
         """The maximum subgraph derivable from k-hop information.
@@ -454,16 +548,23 @@ class Topology:
 
     def _k_hop_view_graph_compute(self, node: int, k: int) -> "Topology":
         distances = self._bfs_distances_cached(node, k)
-        view = Topology(nodes=distances)
+        index, masks = self.adjacency_masks()
+        position = index.position
+        members = index.members
+        visible = 0
+        inner = 0  # nodes strictly inside the outermost ring (< k hops)
         for u, hops_u in distances.items():
-            if hops_u >= k:
-                # Edges from the outermost ring only connect inward and were
-                # already added when scanning the inner endpoint.
-                continue
-            for v in self._adj[u]:
-                if v in distances:
-                    view.add_edge(u, v)
-        return view
+            bit = 1 << position(u)
+            visible |= bit
+            if hops_u < k:
+                inner |= bit
+        # Outermost-ring nodes only keep their inward edges (Definition 2:
+        # links between two exactly-k-hop nodes were never reported).
+        adj: Dict[int, Set[int]] = {}
+        for u, hops_u in distances.items():
+            row = masks[position(u)] & (visible if hops_u < k else inner)
+            adj[u] = set(members(row))
+        return Topology._from_adjacency(adj)
 
     def subgraph(self, nodes: Iterable[int]) -> "Topology":
         """The subgraph induced by ``nodes`` (all must be present)."""
@@ -471,12 +572,12 @@ class Topology:
         missing = members - set(self._adj)
         if missing:
             raise KeyError(f"nodes not in graph: {sorted(missing)}")
-        induced = Topology(nodes=members)
+        index, masks = self.adjacency_masks()
+        subset_mask = index.mask_of(members)
+        adj: Dict[int, Set[int]] = {}
         for u in members:
-            for v in self._adj[u]:
-                if v in members and u < v:
-                    induced.add_edge(u, v)
-        return induced
+            adj[u] = set(index.members(masks[index.position(u)] & subset_mask))
+        return Topology._from_adjacency(adj)
 
     def is_subgraph_of(self, other: "Topology") -> bool:
         """Whether every node and edge of ``self`` also appears in ``other``."""
@@ -498,13 +599,19 @@ class Topology:
         has ncr 1 (it sits in a critical position).  Degree-0 and degree-1
         nodes have no neighbor pairs; their ncr is defined as 0.0.
         """
-        nbrs = self.neighbors(node)
-        deg = len(nbrs)
+        if node not in self._adj:
+            raise KeyError(f"node {node} not in graph")
+        index, masks = self.adjacency_masks()
+        nbrs_mask = masks[index.position(node)]
+        deg = popcount(nbrs_mask)
         if deg < 2:
             return 0.0
-        connected_pairs = sum(
-            len(self._adj[u] & nbrs) for u in nbrs
-        )
+        connected_pairs = 0
+        remaining = nbrs_mask
+        while remaining:
+            low = remaining & -remaining
+            connected_pairs += popcount(masks[low.bit_length() - 1] & nbrs_mask)
+            remaining ^= low
         return 1.0 - connected_pairs / (deg * (deg - 1))
 
     # ------------------------------------------------------------------

@@ -7,7 +7,9 @@ object that every layer reports into:
 
 * :mod:`repro.core.coverage` — coverage-condition evaluations, component
   decompositions, per-view memo hits/misses;
-* :mod:`repro.graph.topology` — query-cache hits/misses and BFS runs;
+* :mod:`repro.graph.topology` — query-cache hits/misses, BFS runs, and
+  the bitmask-kernel ops (adjacency-mask table builds, mask BFS runs,
+  component flood-fills);
 * :mod:`repro.sim.mac` — deliveries, losses, collisions;
 * :mod:`repro.sim.scheduler` — events fired, maximum queue depth;
 * the broadcast engine and hello protocol — transmissions, bytes,
@@ -61,6 +63,10 @@ class InstrumentationCounters:
     topology_cache_hits: int = 0
     topology_cache_misses: int = 0
     bfs_runs: int = 0
+    # graph/topology.py + core/coverage.py bitmask kernels
+    mask_table_builds: int = 0
+    mask_khop_runs: int = 0
+    mask_floodfills: int = 0
     # sim/mac.py
     mac_deliveries: int = 0
     mac_losses: int = 0

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..algorithms.base import BroadcastProtocol, NodeContext, Timing
+from ..core import status as st
 from ..core.priority import PriorityScheme, IdPriority
 from ..core.views import View
 from ..graph.topology import Topology
@@ -83,6 +84,13 @@ class SimulationEnvironment:
         self.metrics = self.scheme.metrics(graph)
         self._view_cache: Dict[Tuple[int, Optional[int]], Topology] = {}
         self._two_hop_cache: Dict[int, FrozenSet[int]] = {}
+        #: Per-view-graph metric restriction, keyed by graph identity (a
+        #: strong reference to the graph is kept alongside, so an id can
+        #: never be recycled under the cache).  Scheme-specific — reset by
+        #: :meth:`with_scheme`, unlike the topology-only view caches.
+        self._view_metrics: Dict[
+            int, Tuple[Topology, Dict[int, Tuple[float, ...]]]
+        ] = {}
 
     def with_scheme(self, scheme: PriorityScheme) -> "SimulationEnvironment":
         """A sibling environment with a different priority scheme.
@@ -97,6 +105,7 @@ class SimulationEnvironment:
         sibling.metrics = scheme.metrics(self.graph)
         sibling._view_cache = self._view_cache
         sibling._two_hop_cache = self._two_hop_cache
+        sibling._view_metrics = {}
         return sibling
 
     def view_graph(self, node: int, hops: Optional[int]) -> Topology:
@@ -125,18 +134,32 @@ class SimulationEnvironment:
         visited: FrozenSet[int],
         designated: FrozenSet[int],
     ) -> View:
-        """Assemble a :class:`View` over ``view_graph`` with known state."""
-        visible = set(view_graph.nodes())
+        """Assemble a :class:`View` over ``view_graph`` with known state.
+
+        The metric restriction to the visible nodes is topology-dependent
+        only, so it is computed once per view graph and shared by every
+        per-decision view the engine builds over it (views never mutate
+        their metrics mapping).
+        """
+        entry = self._view_metrics.get(id(view_graph))
+        if entry is None or entry[0] is not view_graph:
+            table = self.metrics
+            entry = (
+                view_graph,
+                {node: table[node] for node in view_graph},
+            )
+            self._view_metrics[id(view_graph)] = entry
         status: Dict[int, float] = {}
-        for node in designated & visible:
-            status[node] = 1.5
-        for node in visited & visible:
-            status[node] = 2.0
-        metrics = {node: self.metrics[node] for node in visible}
+        for node in designated:
+            if node in view_graph:
+                status[node] = st.DESIGNATED
+        for node in visited:
+            if node in view_graph:
+                status[node] = st.VISITED
         return View(
             graph=view_graph,
             status=status,
-            metrics=metrics,
+            metrics=entry[1],
             metric_padding=self.scheme.padding(),
         )
 

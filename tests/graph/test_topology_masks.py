@@ -1,0 +1,205 @@
+"""Unit tests for the node-indexed bitmask layer of :class:`Topology`.
+
+The masks are the data structure behind the bitset coverage kernel:
+``NodeIndex`` assigns stable bit positions, ``adjacency_masks`` caches one
+big-int row per node, and ``flood_fill`` grows components word-parallel.
+Everything here is checked against straightforward set-based oracles.
+"""
+
+import random
+
+import pytest
+
+from repro.graph.generators import random_connected_network
+from repro.graph.nodeindex import NodeIndex, flood_fill, popcount
+from repro.graph.topology import Topology
+
+
+def _random_graph(seed: int, n: int = 24, extra: int = 18) -> Topology:
+    rng = random.Random(seed)
+    graph = Topology(nodes=range(n))
+    order = list(range(n))
+    rng.shuffle(order)
+    for i in range(1, n):
+        graph.add_edge(order[i], rng.choice(order[:i]))
+    for _ in range(extra):
+        u, v = rng.sample(range(n), 2)
+        graph.add_edge(u, v)
+    return graph
+
+
+class TestNodeIndex:
+    def test_roundtrip_positions(self):
+        index = NodeIndex([7, 3, 11])
+        assert len(index) == 3
+        for position, node in enumerate([7, 3, 11]):
+            assert index.position(node) == position
+            assert index.node_at(position) == node
+            assert index.bit(node) == 1 << position
+
+    def test_mask_of_and_members(self):
+        index = NodeIndex([5, 9, 2, 4])
+        mask = index.mask_of([4, 5])
+        assert popcount(mask) == 2
+        assert set(index.members(mask)) == {4, 5}
+        assert index.mask_of([]) == 0
+        assert index.universe() == (1 << 4) - 1
+
+    def test_members_follow_bit_order(self):
+        index = NodeIndex([9, 1, 6])
+        assert list(index.members(index.universe())) == [9, 1, 6]
+
+    def test_duplicate_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            NodeIndex([1, 2, 1])
+
+    def test_unknown_node_raises(self):
+        index = NodeIndex([1, 2])
+        with pytest.raises(KeyError):
+            index.position(3)
+        with pytest.raises(KeyError):
+            index.mask_of([1, 3])
+
+    def test_contains(self):
+        index = NodeIndex([1, 2])
+        assert 1 in index and 3 not in index
+
+
+class TestAdjacencyMasks:
+    def test_masks_match_neighbor_sets(self):
+        graph = _random_graph(1)
+        index, masks = graph.adjacency_masks()
+        for node in graph.nodes():
+            row = masks[index.position(node)]
+            assert set(index.members(row)) == set(graph.neighbors(node))
+
+    def test_masks_symmetric_and_irreflexive(self):
+        graph = _random_graph(2)
+        index, masks = graph.adjacency_masks()
+        for u in graph.nodes():
+            row = masks[index.position(u)]
+            assert row & index.bit(u) == 0
+            for v in index.members(row):
+                assert masks[index.position(v)] & index.bit(u)
+
+    def test_adjacency_mask_unknown_node(self):
+        graph = Topology(edges=[(1, 2)])
+        with pytest.raises(KeyError):
+            graph.adjacency_mask(99)
+
+    def test_epoch_invalidation_on_mutation(self):
+        graph = Topology(edges=[(1, 2), (2, 3)])
+        index, masks = graph.adjacency_masks()
+        assert masks[index.position(1)] == index.bit(2)
+        graph.add_edge(1, 3)
+        index2, masks2 = graph.adjacency_masks()
+        assert masks2[index2.position(1)] == index2.mask_of([2, 3])
+        graph.remove_edge(1, 2)
+        index3, masks3 = graph.adjacency_masks()
+        assert masks3[index3.position(1)] == index3.bit(3)
+
+    def test_cached_until_mutation(self):
+        graph = _random_graph(3)
+        first = graph.adjacency_masks()
+        assert graph.adjacency_masks() is first
+        graph.add_node(999)
+        assert graph.adjacency_masks() is not first
+
+
+class TestKHopMasks:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_k_hop_mask_matches_bfs(self, seed, k):
+        graph = _random_graph(seed)
+        index = graph.node_index()
+        for node in graph.nodes():
+            expected = _bfs_within(graph, node, k)
+            assert set(index.members(graph.k_hop_mask(node, k))) == expected
+
+    def test_zero_hops_is_self(self):
+        graph = _random_graph(4)
+        index = graph.node_index()
+        assert graph.k_hop_mask(5, 0) == index.bit(5)
+
+
+def _bfs_within(graph, source, k):
+    distances = {source: 0}
+    frontier = [source]
+    for hop in range(1, k + 1):
+        nxt = []
+        for node in frontier:
+            for neighbor in graph.neighbors(node):
+                if neighbor not in distances:
+                    distances[neighbor] = hop
+                    nxt.append(neighbor)
+        frontier = nxt
+    return set(distances)
+
+
+class TestFloodFill:
+    def test_grows_full_component(self):
+        graph = Topology(edges=[(1, 2), (2, 3), (4, 5)])
+        index, masks = graph.adjacency_masks()
+        component = flood_fill(index.bit(1), index.universe(), masks)
+        assert set(index.members(component)) == {1, 2, 3}
+
+    def test_respects_allowed_mask(self):
+        graph = Topology(edges=[(1, 2), (2, 3), (3, 4)])
+        index, masks = graph.adjacency_masks()
+        allowed = index.mask_of([1, 2, 4])
+        component = flood_fill(index.bit(1), allowed, masks)
+        assert set(index.members(component)) == {1, 2}
+
+    def test_seed_kept_even_outside_allowed(self):
+        graph = Topology(edges=[(1, 2)])
+        index, masks = graph.adjacency_masks()
+        component = flood_fill(index.bit(1), 0, masks)
+        assert set(index.members(component)) == {1}
+
+
+class TestMaskBackedQueries:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_connected_components_oracle(self, seed):
+        rng = random.Random(seed)
+        graph = Topology(nodes=range(20))
+        for _ in range(14):
+            u, v = rng.sample(range(20), 2)
+            graph.add_edge(u, v)
+        components = graph.connected_components()
+        assert {n for c in components for n in c} == set(graph.nodes())
+        for component in components:
+            assert graph.is_connected_subset(component)
+        # Distinct components share no edges.
+        for i, a in enumerate(components):
+            for b in components[i + 1:]:
+                assert not a & b
+                assert not any(
+                    graph.has_edge(u, v) for u in a for v in b
+                )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_subgraph_oracle(self, seed):
+        graph = _random_graph(seed)
+        rng = random.Random(seed + 100)
+        subset = set(rng.sample(graph.nodes(), 10))
+        sub = graph.subgraph(subset)
+        assert set(sub.nodes()) == subset
+        for u in subset:
+            assert set(sub.neighbors(u)) == (
+                set(graph.neighbors(u)) & subset
+            )
+
+    def test_is_connected_subset_disconnected(self):
+        graph = Topology(edges=[(1, 2), (3, 4)])
+        assert graph.is_connected_subset({1, 2})
+        assert not graph.is_connected_subset({1, 3})
+        assert graph.is_connected_subset(set())
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_k_hop_neighbors_matches_mask(self, seed):
+        net = random_connected_network(40, 6.0, random.Random(seed))
+        graph = net.topology
+        for node in graph.nodes()[:10]:
+            assert graph.k_hop_neighbors(node, 2) == _bfs_within(
+                graph, node, 2
+            )
