@@ -149,7 +149,7 @@ def _brute_force_view_graph(graph: Topology, center: int, k: int) -> Topology:
     for hop in range(1, k + 1):
         nxt = []
         for node in frontier:
-            for neighbor in graph.neighbors(node):
+            for neighbor in sorted(graph.neighbors(node)):
                 if neighbor not in hops:
                     hops[neighbor] = hop
                     nxt.append(neighbor)

@@ -44,6 +44,41 @@ FULL_NS = (20, 40, 60, 80, 100)
 SMOKE_NS = (15, 20)
 
 
+def first_divergence(serial, parallel, path="$"):
+    """The JSON path of the first byte difference, or ``None`` if equal.
+
+    Walks the two ``tables_to_json`` payloads in lockstep so a gate
+    failure names the exact panel/series/point that diverged instead of
+    only reporting that *something* did.
+    """
+    if type(serial) is not type(parallel):
+        return (
+            f"{path}: type {type(serial).__name__} != "
+            f"{type(parallel).__name__}"
+        )
+    if isinstance(serial, dict):
+        for key in sorted(set(serial) | set(parallel)):
+            if key not in serial:
+                return f"{path}.{key}: only in parallel payload"
+            if key not in parallel:
+                return f"{path}.{key}: only in serial payload"
+            found = first_divergence(serial[key], parallel[key], f"{path}.{key}")
+            if found is not None:
+                return found
+        return None
+    if isinstance(serial, list):
+        if len(serial) != len(parallel):
+            return f"{path}: length {len(serial)} != {len(parallel)}"
+        for index, (left, right) in enumerate(zip(serial, parallel)):
+            found = first_divergence(left, right, f"{path}[{index}]")
+            if found is not None:
+                return found
+        return None
+    if serial != parallel:
+        return f"{path}: serial={serial!r} parallel={parallel!r}"
+    return None
+
+
 def _settings(jobs: int, smoke: bool) -> RunSettings:
     if smoke:
         return RunSettings(
@@ -88,10 +123,12 @@ def run_comparison(jobs: int, smoke: bool) -> dict:
 
     serial_payload = tables_to_json(serial_tables)
     identity_payload = tables_to_json(identity_tables)
+    divergence = first_divergence(serial_payload, identity_payload)
     speedup = None
     if jobs_effective >= 2 and parallel_seconds:
         speedup = round(serial_seconds / parallel_seconds, 3)
     return {
+        "divergence": divergence,
         "benchmark": "bench_parallel",
         "figure": "fig11",
         "mode": "smoke" if smoke else "full",
@@ -103,7 +140,7 @@ def run_comparison(jobs: int, smoke: bool) -> dict:
         "serial_seconds": round(serial_seconds, 3),
         "parallel_seconds": round(parallel_seconds, 3),
         "speedup": speedup,
-        "byte_identical": serial_payload == identity_payload,
+        "byte_identical": divergence is None,
     }
 
 
@@ -135,10 +172,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"wrote {args.out}", file=sys.stderr)
     if not record["byte_identical"]:
         print(
-            "FAIL: parallel results diverge from serial", file=sys.stderr
+            "FAIL: byte-identity gate — the parallel sweep "
+            f"(jobs={record['identity_jobs']}) diverges from the serial "
+            "run.  The determinism contract (byte-identical tables at "
+            "any --jobs N) is broken; first divergence:\n"
+            f"  {record['divergence']}",
+            file=sys.stderr,
         )
         return 1
     return 0
+
+
+def test_first_divergence_localises_the_mismatch():
+    """The gate's failure message names the first divergent JSON path."""
+    serial = {"tables": [{"series": [{"points": [1.0, 2.0]}]}]}
+    parallel = {"tables": [{"series": [{"points": [1.0, 2.5]}]}]}
+    assert first_divergence(serial, serial) is None
+    detail = first_divergence(serial, parallel)
+    assert detail == (
+        "$.tables[0].series[0].points[1]: serial=2.0 parallel=2.5"
+    )
+    assert "length" in first_divergence([1], [1, 2])
+    assert "only in serial" in first_divergence({"a": 1}, {})
 
 
 def test_parallel_matches_serial(benchmark, tmp_path):
@@ -146,7 +201,8 @@ def test_parallel_matches_serial(benchmark, tmp_path):
     record = benchmark.pedantic(
         lambda: run_comparison(jobs=2, smoke=True), rounds=1, iterations=1
     )
-    assert record["byte_identical"], record
+    assert record["byte_identical"], record["divergence"]
+    assert record["divergence"] is None
     assert record["point_count"] == 2 * 4 * len(SMOKE_NS)
     assert record["jobs_effective"] <= (os.cpu_count() or 1)
     assert record["identity_jobs"] >= 2

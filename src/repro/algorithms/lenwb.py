@@ -44,7 +44,7 @@ def connected_via_higher_priority(view: View, start: int, v: int) -> Set[int]:
     frontier = deque([start])
     while frontier:
         node = frontier.popleft()
-        for neighbor in view.graph.neighbors(node):
+        for neighbor in sorted(view.graph.neighbors(node)):
             if neighbor in eligible and neighbor not in component:
                 component.add(neighbor)
                 frontier.append(neighbor)

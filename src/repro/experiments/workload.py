@@ -14,6 +14,8 @@ Jain's fairness index over that load, total transmissions, and latency.
 
 from __future__ import annotations
 
+import hashlib
+import itertools
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
@@ -23,7 +25,26 @@ from ..graph.topology import Topology
 from ..metrics.stats import jain_fairness_index, mean
 from ..sim.engine import BroadcastSession, SimulationEnvironment
 
-__all__ = ["WorkloadResult", "BroadcastWorkload"]
+__all__ = ["WorkloadResult", "BroadcastWorkload", "workload_seed"]
+
+#: Monotone sequence distinguishing same-process default-seeded runs.
+_RUN_SEQUENCE = itertools.count()
+
+
+def workload_seed(sequence: int) -> int:
+    """The documented default-RNG seed of one :meth:`BroadcastWorkload.run`.
+
+    ``sha256("BroadcastWorkload|{sequence}")`` truncated to 64 bits —
+    the same session-seed derivation
+    :func:`repro.sim.engine.session_seed` uses, under a workload-specific
+    tag so workload source draws never correlate with engine backoff
+    streams.  A shared fixed default (the old ``Random(0)``) replayed the
+    identical source sequence for every run in a process, silently
+    correlating "independent" workloads; pass an explicit ``rng`` for
+    cross-process reproducibility.
+    """
+    digest = hashlib.sha256(f"BroadcastWorkload|{sequence}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 @dataclass
@@ -91,7 +112,7 @@ class BroadcastWorkload:
         """
         if broadcasts < 1:
             raise ValueError(f"broadcasts must be positive, got {broadcasts}")
-        rng = rng or random.Random(0)
+        rng = rng or random.Random(workload_seed(next(_RUN_SEQUENCE)))
         load: Dict[int, int] = {node: 0 for node in self.graph.nodes()}
         total = 0
         latencies: List[float] = []

@@ -1,0 +1,39 @@
+"""detlint — AST-based determinism & invariant linter for the simulation stack.
+
+The repro's headline guarantees (Theorem 1/2 correctness under per-node
+local views; byte-identical sweep results at any ``--jobs N`` and either
+``REPRO_COVERAGE_BACKEND``) hinge on coding invariants that no runtime
+test can enforce exhaustively: no unordered iteration feeding ordered
+decisions, no ambient RNG or wall-clock reads in simulation paths,
+epoch-guarded cache mutation, and backend-qualified memo keys.  This
+package enforces them statically::
+
+    python -m repro.lint src tests benchmarks
+    python -m repro.lint --check-baseline
+    repro-lint --list-rules
+
+Everything is stdlib-only (``ast`` + ``argparse``); see
+``docs/API.md`` ("Static analysis") for the rule catalogue, the
+``# detlint: disable=DETxxx`` pragma syntax, and how to regenerate the
+committed ``detlint_baseline.json``.
+"""
+
+from .baseline import fingerprint_findings, load_baseline, write_baseline
+from .engine import iter_python_files, lint_paths, lint_source
+from .findings import Finding
+from .registry import LintContext, Rule, all_rules, get_rule
+from . import rules  # noqa: F401  — importing registers the DET rules.
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_source",
+    "lint_paths",
+    "iter_python_files",
+    "fingerprint_findings",
+    "load_baseline",
+    "write_baseline",
+]

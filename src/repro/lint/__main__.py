@@ -1,0 +1,110 @@
+"""Command-line entry point: ``python -m repro.lint`` / ``repro-lint``.
+
+Exit codes: 0 clean (all findings baselined), 1 new findings (or, under
+``--check-baseline``, stale baseline entries), 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from . import rules as _rules  # noqa: F401  — registers DET001–DET008.
+from .baseline import diff_against_baseline, load_baseline, write_baseline
+from .engine import iter_python_files, lint_paths
+from .report import render_human, render_json, render_rule_list
+
+DEFAULT_PATHS = ("src", "tests", "benchmarks")
+DEFAULT_BASELINE = "detlint_baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based determinism & invariant linter for the repro "
+            "simulation stack (rules DET001-DET008)."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint "
+        f"(default: the existing subset of {', '.join(DEFAULT_PATHS)})",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help="baseline JSON of accepted findings "
+        f"(default: {DEFAULT_BASELINE}; missing file = empty baseline)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline: report and fail on every finding",
+    )
+    parser.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help="also fail when the baseline holds stale entries, so the "
+        "committed file always matches a fresh run",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept the current findings: rewrite the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable report"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        render_rule_list(sys.stdout)
+        return 0
+
+    paths = args.paths or [p for p in DEFAULT_PATHS if os.path.isdir(p)]
+    if not paths:
+        print(
+            "repro-lint: no paths given and none of "
+            f"{', '.join(DEFAULT_PATHS)} exist here",
+            file=sys.stderr,
+        )
+        return 2
+
+    checked_files = sum(1 for _ in iter_python_files(paths))
+    findings = lint_paths(paths)
+
+    if args.write_baseline:
+        write_baseline(args.baseline, findings)
+        print(
+            f"wrote {args.baseline}: {len(findings)} accepted finding(s)",
+            file=sys.stderr,
+        )
+        return 0
+
+    baseline = {} if args.no_baseline else load_baseline(args.baseline)
+    new, accepted, stale = diff_against_baseline(findings, baseline)
+    if not args.check_baseline:
+        stale = []  # informational only outside --check-baseline
+
+    renderer = render_json if args.json else render_human
+    renderer(sys.stdout, new, accepted, stale, checked_files)
+
+    if new:
+        return 1
+    if args.check_baseline and stale:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""The committed findings baseline: fingerprints, load/save, and diffing.
+
+The baseline lets CI fail on *new* findings while tolerating accepted
+pre-existing ones.  Each entry is fingerprinted from the finding's rule,
+path, stripped source line, and occurrence index — deliberately **not**
+the line number, so unrelated edits above a baselined finding don't
+invalidate the whole file's entries.
+
+Regenerate with ``python -m repro.lint --write-baseline`` after fixing
+or accepting findings; ``--check-baseline`` additionally fails when the
+committed baseline has gone stale (an entry no longer matches any
+finding), keeping the file honest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .findings import Finding
+
+__all__ = [
+    "fingerprint_findings",
+    "load_baseline",
+    "write_baseline",
+    "diff_against_baseline",
+    "BASELINE_VERSION",
+]
+
+BASELINE_VERSION = 1
+
+
+def _fingerprint(rule: str, path: str, snippet: str, occurrence: int) -> str:
+    digest = hashlib.sha256(
+        f"{rule}|{path}|{snippet}|{occurrence}".encode()
+    ).hexdigest()
+    return digest[:16]
+
+
+def fingerprint_findings(
+    findings: Iterable[Finding],
+) -> List[Tuple[Finding, str]]:
+    """Pair each finding with its stable fingerprint.
+
+    Identical ``(rule, path, snippet)`` triples are disambiguated by
+    occurrence index in report order, so two textually identical
+    violations in one file fingerprint differently.
+    """
+    seen: Dict[Tuple[str, str, str], int] = {}
+    pairs: List[Tuple[Finding, str]] = []
+    for finding in sorted(findings):
+        key = (finding.rule, finding.path, finding.snippet)
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        pairs.append(
+            (
+                finding,
+                _fingerprint(
+                    finding.rule, finding.path, finding.snippet, occurrence
+                ),
+            )
+        )
+    return pairs
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> None:
+    """Write the baseline JSON for ``findings`` (sorted, versioned)."""
+    entries = [
+        {
+            "fingerprint": fingerprint,
+            "rule": finding.rule,
+            "path": finding.path,
+            "snippet": finding.snippet,
+        }
+        for finding, fingerprint in fingerprint_findings(findings)
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def load_baseline(path: str) -> Dict[str, Dict[str, str]]:
+    """Baseline entries keyed by fingerprint (empty if file is absent)."""
+    file_path = Path(path)
+    if not file_path.exists():
+        return {}
+    payload = json.loads(file_path.read_text(encoding="utf-8"))
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} has version {version!r}, "
+            f"expected {BASELINE_VERSION}; regenerate with --write-baseline"
+        )
+    return {
+        entry["fingerprint"]: entry for entry in payload.get("findings", [])
+    }
+
+
+def diff_against_baseline(
+    findings: Sequence[Finding], baseline: Dict[str, Dict[str, str]]
+) -> Tuple[List[Finding], List[Finding], List[Dict[str, str]]]:
+    """Split ``findings`` into ``(new, accepted, stale_entries)``.
+
+    ``new`` are findings absent from the baseline (these fail the run);
+    ``accepted`` match a baseline fingerprint; ``stale_entries`` are
+    baseline records no current finding matches (reported, and fatal
+    under ``--check-baseline``).
+    """
+    new: List[Finding] = []
+    accepted: List[Finding] = []
+    matched: set = set()
+    for finding, fingerprint in fingerprint_findings(findings):
+        if fingerprint in baseline:
+            accepted.append(finding)
+            matched.add(fingerprint)
+        else:
+            new.append(finding)
+    stale = [
+        entry
+        for fingerprint, entry in sorted(baseline.items())
+        if fingerprint not in matched
+    ]
+    return new, accepted, stale

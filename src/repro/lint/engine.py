@@ -1,0 +1,150 @@
+"""File discovery, pragma handling, and the per-file lint driver.
+
+The engine parses each file once, runs every registered rule whose
+scope matches the path, and filters the findings through the
+``# detlint:`` pragma comments:
+
+``# detlint: disable=DET001,DET004``
+    Suppress the named rules on the line the pragma appears on (the
+    line a finding is *reported* on — for a multi-line statement that
+    is the statement's first line).
+``# detlint: disable``
+    Suppress every rule on that line.
+``# detlint: skip-file``
+    Anywhere in the file: skip the file entirely.
+
+A file that fails to parse yields a single ``DET000`` finding rather
+than crashing the run, so one broken file cannot hide the rest.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from .findings import Finding
+from .registry import LintContext, Rule, all_rules, path_parts
+
+__all__ = [
+    "lint_source",
+    "lint_paths",
+    "iter_python_files",
+    "PRAGMA_PATTERN",
+]
+
+PRAGMA_PATTERN = re.compile(
+    r"#\s*detlint\s*:\s*(?P<verb>disable|skip-file)"
+    r"(?:\s*=\s*(?P<codes>[A-Z0-9,\s]+?))?\s*(?:#|$)"
+)
+
+#: Directory components never linted: bytecode caches, and the fixture
+#: corpus under ``tests/lint/fixtures`` whose files are *deliberate*
+#: violations for the linter's own test suite.
+_SKIPPED_DIRS = ("__pycache__",)
+
+
+def _pragmas(lines: Sequence[str]) -> Dict[int, Optional[Set[str]]]:
+    """Per-line suppressions: line → rule codes, or ``None`` for all."""
+    suppressions: Dict[int, Optional[Set[str]]] = {}
+    for number, line in enumerate(lines, start=1):
+        if "#" not in line or "detlint" not in line:
+            continue
+        match = PRAGMA_PATTERN.search(line)
+        if match is None:
+            continue
+        if match.group("verb") == "skip-file":
+            suppressions[0] = None  # sentinel: whole file
+            continue
+        codes = match.group("codes")
+        if codes is None:
+            suppressions[number] = None
+        else:
+            parsed = {code.strip() for code in codes.split(",") if code.strip()}
+            existing = suppressions.get(number)
+            if existing is None and number in suppressions:
+                continue  # an unconditional disable already covers the line
+            suppressions[number] = (existing or set()) | parsed
+    return suppressions
+
+
+def _suppressed(
+    finding: Finding, suppressions: Dict[int, Optional[Set[str]]]
+) -> bool:
+    if 0 in suppressions:
+        return True
+    codes = suppressions.get(finding.line, ())
+    return codes is None or finding.rule in codes
+
+
+def lint_source(
+    source: str,
+    path: str,
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint one module's source under a (possibly virtual) ``path``.
+
+    ``path`` drives rule scoping only — it need not exist on disk, which
+    is how the fixture tests exercise path-scoped rules
+    (``lint_source(bad, "src/repro/sim/sample.py")``).
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 0,
+                col=exc.offset or 0,
+                rule="DET000",
+                message=f"file does not parse: {exc.msg}",
+                snippet=(exc.text or "").strip(),
+            )
+        ]
+    ctx = LintContext(path, source, tree)
+    suppressions = _pragmas(ctx.lines)
+    if 0 in suppressions:
+        return []
+    findings: List[Finding] = []
+    for rule in rules if rules is not None else all_rules():
+        if not rule.applies_to(path):
+            continue
+        for finding in rule.check(ctx):
+            if not _suppressed(finding, suppressions):
+                findings.append(finding)
+    return sorted(findings)
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    """Every ``.py`` file under ``paths``, excluding caches and fixtures."""
+    for entry in paths:
+        root = Path(entry)
+        if root.is_file():
+            if root.suffix == ".py":
+                yield root
+            continue
+        for candidate in sorted(root.rglob("*.py")):
+            parts = candidate.parts
+            if any(part in _SKIPPED_DIRS for part in parts):
+                continue
+            if "fixtures" in parts and "lint" in parts:
+                continue
+            yield candidate
+
+
+def lint_paths(
+    paths: Iterable[str],
+    rules: Optional[Sequence[Rule]] = None,
+) -> List[Finding]:
+    """Lint every Python file under ``paths`` (files or directories).
+
+    Paths in the findings are reported as given (relative stays
+    relative), normalised to forward slashes so baselines are portable.
+    """
+    findings: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        normalised = "/".join(path_parts(str(file_path)))
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(lint_source(source, normalised, rules))
+    return sorted(findings)

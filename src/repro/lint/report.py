@@ -1,0 +1,69 @@
+"""Human and JSON reporters for detlint runs."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence, TextIO
+
+from .findings import Finding
+from .registry import all_rules
+
+__all__ = ["render_human", "render_json", "render_rule_list"]
+
+
+def render_human(
+    stream: TextIO,
+    new: Sequence[Finding],
+    accepted: Sequence[Finding],
+    stale: Sequence[Dict[str, str]],
+    checked_files: int,
+) -> None:
+    """``file:line:col: CODE message`` lines plus a one-line summary."""
+    for finding in new:
+        stream.write(
+            f"{finding.location()}: {finding.rule} {finding.message}\n"
+        )
+    for entry in stale:
+        stream.write(
+            f"{entry['path']}: stale baseline entry {entry['fingerprint']} "
+            f"({entry['rule']}) no longer matches any finding\n"
+        )
+    summary = (
+        f"detlint: {checked_files} files, {len(new)} new finding(s), "
+        f"{len(accepted)} baselined, {len(stale)} stale baseline entr"
+        f"{'y' if len(stale) == 1 else 'ies'}\n"
+    )
+    stream.write(summary)
+
+
+def render_json(
+    stream: TextIO,
+    new: Sequence[Finding],
+    accepted: Sequence[Finding],
+    stale: Sequence[Dict[str, str]],
+    checked_files: int,
+) -> None:
+    """A machine-readable record of the whole run."""
+    payload = {
+        "checked_files": checked_files,
+        "new": [finding.to_dict() for finding in new],
+        "baselined": [finding.to_dict() for finding in accepted],
+        "stale_baseline_entries": list(stale),
+    }
+    json.dump(payload, stream, indent=2)
+    stream.write("\n")
+
+
+def render_rule_list(stream: TextIO) -> None:
+    """The rule catalogue (``--list-rules``)."""
+    for rule in all_rules():
+        stream.write(f"{rule.code}  {rule.name}\n")
+        stream.write(f"    {rule.description}\n")
+
+
+def count_by_rule(findings: Sequence[Finding]) -> List[str]:
+    """``CODE xN`` fragments for summary lines."""
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    return [f"{code} x{counts[code]}" for code in sorted(counts)]

@@ -1,0 +1,38 @@
+"""DET001 fixture: the same shapes with an interposed ordering."""
+
+
+def collect_neighbors(view, v):
+    out = []
+    for u in sorted(view.graph.neighbors(v)):  # sorted() interposed
+        out.append(u)
+    return out
+
+
+def first_above(nodes, threshold):
+    for u in sorted(set(nodes)):
+        if u > threshold:
+            return u
+    return None
+
+
+def union_all(view, nodes):
+    seen = set()
+    for u in set(nodes):  # set accumulation is order-insensitive
+        seen.add(u)
+        seen |= view.graph.neighbors(u)
+    return seen
+
+
+def any_above(nodes, threshold):
+    for u in set(nodes):  # constant-result return is order-insensitive
+        if u > threshold:
+            return True
+    return False
+
+
+def materialise(nodes):
+    return sorted({n for n in nodes})
+
+
+def render(nodes):
+    return ", ".join(str(n) for n in sorted(set(nodes)))

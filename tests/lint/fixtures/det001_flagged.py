@@ -1,0 +1,25 @@
+"""DET001 fixture: unordered iteration feeding order-sensitive sinks."""
+
+
+def collect_neighbors(view, v):
+    out = []
+    for u in view.graph.neighbors(v):  # flagged: list building
+        out.append(u)
+    return out
+
+
+def first_above(nodes, threshold):
+    chosen = None
+    for u in set(nodes):  # flagged: first-match break
+        if u > threshold:
+            chosen = u
+            break
+    return chosen
+
+
+def materialise(nodes):
+    return list({n for n in nodes})  # flagged: list() over a set comp
+
+
+def render(nodes):
+    return ", ".join(str(n) for n in set(nodes))  # flagged: join over a set

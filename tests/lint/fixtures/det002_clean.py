@@ -1,0 +1,17 @@
+"""DET002 fixture: entropy threaded through an explicit Random."""
+
+import random
+from random import Random
+
+
+def jitter(rng: random.Random) -> float:
+    return rng.random() + rng.uniform(0.0, 1.0)
+
+
+def make_rng(seed: int) -> Random:
+    return random.Random(seed)
+
+
+def scramble(items, rng: Random):
+    rng.shuffle(items)
+    return items

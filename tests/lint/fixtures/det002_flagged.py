@@ -1,0 +1,23 @@
+"""DET002 fixture: ambient RNG and wall-clock reads in a sim path."""
+
+import os
+import random
+import time
+from random import shuffle  # flagged: binds the shared module RNG
+
+
+def jitter():
+    return random.random() + random.uniform(0.0, 1.0)  # flagged (x2)
+
+
+def stamp():
+    return time.time()  # flagged: wall clock
+
+
+def entropy():
+    return os.urandom(8)  # flagged: OS entropy
+
+
+def scramble(items):
+    shuffle(items)
+    return items

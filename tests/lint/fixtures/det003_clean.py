@@ -1,0 +1,19 @@
+"""DET003 fixture: the owner mutates its own cache behind the epoch."""
+
+
+class Owner:
+    def __init__(self):
+        self._query_cache = {}
+        self._cache_epoch = 0
+        self._epoch = 0
+
+    def _cached(self, key, compute):
+        if self._cache_epoch != self._epoch:
+            self._query_cache.clear()
+            self._cache_epoch = self._epoch
+        if key not in self._query_cache:
+            self._query_cache[key] = compute()
+        return self._query_cache[key]
+
+    def mutate(self):
+        self._epoch += 1

@@ -1,0 +1,16 @@
+"""DET004 fixture: a shared memo tag without the backend qualifier."""
+
+
+def _memo(view, key, compute):
+    cache = view.cache
+    if key not in cache:
+        cache[key] = compute()
+    return cache[key]
+
+
+def components_sets(view, v):
+    return _memo(view, ("components", v), lambda: [v, "sets"])  # flagged
+
+
+def components_bitset(view, v):
+    return _memo(view, ("components", v), lambda: [v, "bitset"])  # flagged

@@ -1,0 +1,20 @@
+"""DET005 fixture: frozen event dataclasses."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Transmit:
+    time: float
+    node: int
+
+
+@dataclass(frozen=True, order=True)
+class Deliver:
+    time: float
+    node: int
+
+
+class EventBus:  # a plain class is not a dataclass; not flagged
+    def __init__(self):
+        self.subscribers = []

@@ -1,0 +1,21 @@
+"""DET005 fixture: mutable dataclasses in an events module."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Transmit:  # flagged: bare @dataclass is mutable
+    time: float
+    node: int
+
+
+@dataclass(frozen=False)
+class Deliver:  # flagged: frozen explicitly off
+    time: float
+    node: int
+
+
+@dataclass(order=True)
+class Drop:  # flagged: frozen omitted
+    time: float
+    node: int

@@ -1,0 +1,11 @@
+"""DET006 fixture: explicit, field-ordered worker payloads."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def dispatch(pool: ProcessPoolExecutor, work, task):
+    return pool.submit(work, task)
+
+
+def dispatch_fields(pool: ProcessPoolExecutor, work, panel, series, n):
+    return pool.submit(work, (panel, series, n))

@@ -1,0 +1,15 @@
+"""DET006 fixture: **kwargs captured into multiprocessing payloads."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def dispatch_dict(pool: ProcessPoolExecutor, work, **kwargs):
+    return pool.submit(work, kwargs)  # flagged: kwargs dict as payload
+
+
+def dispatch_splat(pool: ProcessPoolExecutor, work, **kwargs):
+    return pool.submit(work, **kwargs)  # flagged: kwargs splat
+
+
+def dispatch_locals(pool: ProcessPoolExecutor, work, task):
+    return pool.submit(work, locals())  # flagged: locals() as payload

@@ -1,0 +1,12 @@
+"""DET007 fixture: order-independent float accumulation."""
+
+import math
+
+
+def total_load(loads):
+    return math.fsum(set(loads))  # fsum is correctly rounded
+
+
+def mean_reach(graph, nodes):
+    total = sum(graph.degree(n) for n in sorted(set(nodes)))
+    return total / len(nodes)

@@ -1,0 +1,9 @@
+"""DET007 fixture: float accumulation over unordered iterables."""
+
+
+def total_load(loads):
+    return sum(set(loads))  # flagged: set iteration order
+
+def mean_reach(graph, nodes):
+    total = sum(graph.degree(n) for n in set(nodes))  # flagged: genexp
+    return total / len(nodes)

@@ -1,0 +1,18 @@
+"""DET008 fixture: narrow handlers, or broad ones that re-raise."""
+
+
+def drain(queue):
+    while queue:
+        try:
+            queue.pop()
+        except IndexError:
+            break
+
+
+def tick(handlers, failures):
+    for handler in handlers:
+        try:
+            handler()
+        except Exception as exc:
+            failures.append(exc)
+            raise

@@ -1,0 +1,17 @@
+"""DET008 fixture: silently swallowed exceptions in an engine path."""
+
+
+def drain(queue):
+    while queue:
+        try:
+            queue.pop()
+        except Exception:  # flagged: swallow
+            pass
+
+
+def tick(handlers):
+    for handler in handlers:
+        try:
+            handler()
+        except:  # noqa: E722 — flagged: bare except swallow
+            continue

@@ -1,0 +1,103 @@
+"""The committed baseline matches a fresh run, and the CLI gates on it."""
+
+import json
+from pathlib import Path
+
+from repro.lint import lint_paths, load_baseline, write_baseline
+from repro.lint.__main__ import main
+
+REPO = Path(__file__).resolve().parents[2]
+
+#: A minimal DET001 violation (unordered loop feeding a list build) used
+#: to prove the gate actually fails on a regression.
+INJECTED_DET001 = (
+    "def collect(view, v):\n"
+    "    out = []\n"
+    "    for u in view.graph.neighbors(v):\n"
+    "        out.append(u)\n"
+    "    return out\n"
+)
+
+
+def test_committed_baseline_matches_fresh_run(monkeypatch):
+    """``python -m repro.lint --check-baseline`` passes at repo root."""
+    monkeypatch.chdir(REPO)
+    assert main(["--check-baseline"]) == 0
+
+
+def test_committed_baseline_is_empty():
+    """Every real violation was fixed, not baselined (acceptance gate)."""
+    baseline = load_baseline(str(REPO / "detlint_baseline.json"))
+    assert baseline == {}
+
+
+def test_fresh_run_over_src_is_clean(monkeypatch):
+    monkeypatch.chdir(REPO)
+    assert lint_paths(["src"]) == []
+
+
+def test_injected_det001_fails_the_gate(tmp_path, monkeypatch, capsys):
+    """The CI job fails when a new DET001 violation lands."""
+    package = tmp_path / "src" / "repro" / "algorithms"
+    package.mkdir(parents=True)
+    (package / "regression.py").write_text(INJECTED_DET001, encoding="utf-8")
+    monkeypatch.chdir(tmp_path)
+    code = main(["--check-baseline", "src"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "DET001" in out
+    assert "regression.py:3" in out
+
+
+def test_write_baseline_accepts_then_stale_entries_fail(
+    tmp_path, monkeypatch, capsys
+):
+    package = tmp_path / "src" / "repro" / "algorithms"
+    package.mkdir(parents=True)
+    violation = package / "accepted.py"
+    violation.write_text(INJECTED_DET001, encoding="utf-8")
+    baseline = tmp_path / "baseline.json"
+    monkeypatch.chdir(tmp_path)
+
+    assert main(["--write-baseline", "--baseline", str(baseline), "src"]) == 0
+    payload = json.loads(baseline.read_text(encoding="utf-8"))
+    assert len(payload["findings"]) == 1
+
+    # Baselined: the finding no longer fails the run.
+    assert main(["--check-baseline", "--baseline", str(baseline), "src"]) == 0
+
+    # Fixing the violation strands the baseline entry: --check-baseline
+    # fails (stale entry), the plain run stays green.
+    violation.write_text(
+        INJECTED_DET001.replace(
+            "view.graph.neighbors(v)", "sorted(view.graph.neighbors(v))"
+        ),
+        encoding="utf-8",
+    )
+    assert main(["--baseline", str(baseline), "src"]) == 0
+    assert main(["--check-baseline", "--baseline", str(baseline), "src"]) == 1
+    assert "stale baseline entry" in capsys.readouterr().out
+
+
+def test_no_baseline_flag_fails_on_baselined_finding(tmp_path, monkeypatch):
+    package = tmp_path / "src" / "repro" / "algorithms"
+    package.mkdir(parents=True)
+    (package / "accepted.py").write_text(INJECTED_DET001, encoding="utf-8")
+    baseline = tmp_path / "baseline.json"
+    monkeypatch.chdir(tmp_path)
+    write_baseline(str(baseline), lint_paths(["src"]))
+    assert main(["--baseline", str(baseline), "src"]) == 0
+    assert main(["--no-baseline", "--baseline", str(baseline), "src"]) == 1
+
+
+def test_json_report_shape(tmp_path, monkeypatch, capsys):
+    package = tmp_path / "src" / "repro" / "algorithms"
+    package.mkdir(parents=True)
+    (package / "regression.py").write_text(INJECTED_DET001, encoding="utf-8")
+    monkeypatch.chdir(tmp_path)
+    code = main(["--json", "src"])
+    payload = json.loads(capsys.readouterr().out)
+    assert code == 1
+    assert payload["checked_files"] == 1
+    assert [f["rule"] for f in payload["new"]] == ["DET001"]
+    assert payload["stale_baseline_entries"] == []

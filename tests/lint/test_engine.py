@@ -1,0 +1,104 @@
+"""Engine mechanics: pragmas, skip-file, parse errors, discovery."""
+
+from pathlib import Path
+
+from repro.lint import fingerprint_findings, iter_python_files, lint_source
+
+SIM_PATH = "src/repro/sim/sample.py"
+
+AMBIENT = "import time\n\n\ndef stamp():\n    return time.time()\n"
+
+
+def test_finding_reported_without_pragma():
+    findings = lint_source(AMBIENT, SIM_PATH)
+    assert [f.rule for f in findings] == ["DET002"]
+    assert findings[0].line == 5
+    assert findings[0].snippet == "return time.time()"
+
+
+def test_named_pragma_suppresses_on_its_line():
+    source = AMBIENT.replace(
+        "return time.time()",
+        "return time.time()  # detlint: disable=DET002",
+    )
+    assert lint_source(source, SIM_PATH) == []
+
+
+def test_named_pragma_only_suppresses_named_rules():
+    source = AMBIENT.replace(
+        "return time.time()",
+        "return time.time()  # detlint: disable=DET001",
+    )
+    assert [f.rule for f in lint_source(source, SIM_PATH)] == ["DET002"]
+
+
+def test_blanket_pragma_suppresses_all_rules():
+    source = AMBIENT.replace(
+        "return time.time()",
+        "return time.time()  # detlint: disable",
+    )
+    assert lint_source(source, SIM_PATH) == []
+
+
+def test_skip_file_pragma():
+    source = "# detlint: skip-file\n" + AMBIENT
+    assert lint_source(source, SIM_PATH) == []
+
+
+def test_pragma_on_other_line_does_not_suppress():
+    source = "# detlint: disable=DET002\n" + AMBIENT
+    assert [f.rule for f in lint_source(source, SIM_PATH)] == ["DET002"]
+
+
+def test_syntax_error_yields_det000():
+    findings = lint_source("def broken(:\n", SIM_PATH)
+    assert [f.rule for f in findings] == ["DET000"]
+    assert "does not parse" in findings[0].message
+
+
+def test_findings_sorted_and_located():
+    source = (
+        "import time\n"
+        "import os\n"
+        "\n"
+        "\n"
+        "def run():\n"
+        "    a = time.time()\n"
+        "    b = os.urandom(4)\n"
+        "    return a, b\n"
+    )
+    findings = lint_source(source, SIM_PATH)
+    assert [f.rule for f in findings] == ["DET002", "DET002"]
+    assert [f.line for f in findings] == [6, 7]
+    assert findings[0].location() == f"{SIM_PATH}:6:8"
+
+
+def test_fingerprints_disambiguate_identical_lines():
+    source = (
+        "import time\n"
+        "\n"
+        "\n"
+        "def run():\n"
+        "    a = time.time()\n"
+        "    a = time.time()\n"
+        "    return a\n"
+    )
+    pairs = fingerprint_findings(lint_source(source, SIM_PATH))
+    assert len(pairs) == 2
+    assert pairs[0][1] != pairs[1][1], "occurrence index must disambiguate"
+
+
+def test_fingerprints_survive_line_drift():
+    shifted = "# a new leading comment\n" + AMBIENT
+    original = fingerprint_findings(lint_source(AMBIENT, SIM_PATH))
+    drifted = fingerprint_findings(lint_source(shifted, SIM_PATH))
+    assert [fp for _f, fp in original] == [fp for _f, fp in drifted]
+
+
+def test_discovery_skips_fixture_corpus_and_pycache():
+    repo = Path(__file__).resolve().parents[2]
+    files = list(iter_python_files([str(repo / "tests" / "lint")]))
+    names = {f.name for f in files}
+    assert "test_engine.py" in names
+    assert not any("fixtures" in f.parts for f in files)
+    assert not any("__pycache__" in f.parts for f in files)
