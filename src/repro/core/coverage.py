@@ -88,6 +88,14 @@ def _memo(view: View, key, compute):
     call.  The cache rides on the view instance itself (see
     :func:`repro.core.views.view_cache`); keys carry the backend name
     wherever the computation differs per backend.
+
+    Dirty-awareness comes from ``view_cache`` itself: it stamps the
+    cache with the view graph's ``version_stamp()`` and resets it when
+    the graph is mutated underneath the view (e.g. by
+    ``Topology.apply_delta`` during a mobility sweep), so every memo
+    here — components, reach bitmaps, span paths — is invalidated as a
+    unit the moment its topology input changes, and survives verbatim
+    while the retained view graph stays untouched.
     """
     cache = view_cache(view)
     if key not in cache:

@@ -54,6 +54,17 @@ class PriorityScheme(ABC):
     #: collection (paper: ID +0, Degree +1, NCR +2).
     extra_rounds: int = 0
 
+    #: Hop radius within which an edge change can alter a node's metric,
+    #: or ``None`` when unknown.  ``metric_of(v)`` may change after an
+    #: edge flip only if a flipped endpoint lies within this many hops
+    #: of ``v`` — 0 for id/degree (only an endpoint's own degree moves),
+    #: 1 for ncr (the flipped edge must lie inside ``N[v]``).  The
+    #: incremental sweep runner uses ``k + metric_locality`` as its
+    #: decision-cache invalidation radius; schemes that leave this
+    #: ``None`` (custom metrics with unknown reach) force a full
+    #: re-decision per step, which is always safe.
+    metric_locality: "int | None" = None
+
     @abstractmethod
     def metrics(self, graph: Topology) -> Dict[int, Tuple[float, ...]]:
         """Metric tuple for every node of ``graph``."""
@@ -76,6 +87,7 @@ class IdPriority(PriorityScheme):
     name = "id"
     arity = 0
     extra_rounds = 0
+    metric_locality = 0
 
     def metrics(self, graph: Topology) -> Dict[int, Tuple[float, ...]]:
         return {node: () for node in graph.nodes()}
@@ -87,6 +99,7 @@ class DegreePriority(PriorityScheme):
     name = "degree"
     arity = 1
     extra_rounds = 1
+    metric_locality = 0
 
     def metrics(self, graph: Topology) -> Dict[int, Tuple[float, ...]]:
         return {node: (float(graph.degree(node)),) for node in graph.nodes()}
@@ -101,6 +114,7 @@ class NcrPriority(PriorityScheme):
     name = "ncr"
     arity = 2
     extra_rounds = 2
+    metric_locality = 1
 
     def metrics(self, graph: Topology) -> Dict[int, Tuple[float, ...]]:
         return {
@@ -126,6 +140,7 @@ class RandomEpochPriority(PriorityScheme):
     name = "random-epoch"
     arity = 1
     extra_rounds = 1  # one exchange to advertise the drawn value
+    metric_locality = 0  # drawn per epoch, independent of topology
 
     def __init__(self, seed: int = 0) -> None:
         self._seed = seed

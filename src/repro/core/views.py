@@ -32,7 +32,7 @@ __all__ = ["View", "global_view", "local_view", "super_view", "view_cache"]
 
 
 def view_cache(view: "View") -> Dict:
-    """The per-view derived-value cache (lazily attached).
+    """The per-view derived-value cache (lazily attached, dirty-aware).
 
     Views are immutable value objects, so anything derived from one — a
     status bitmask, the coverage machinery's component decomposition —
@@ -41,13 +41,31 @@ def view_cache(view: "View") -> Dict:
     fresh instances, so a state change never sees a stale cache.  The
     dict is attached with ``object.__setattr__`` to bypass the frozen
     dataclass guard.
+
+    The cache records the graph's :meth:`~repro.graph.topology.Topology.
+    version_stamp` at attach time and is reset wholesale when the stamp
+    moves (a view over a graph later mutated through ``apply_delta`` or
+    the plain mutators).  Reset is deliberately *wholesale* rather than
+    per dirty node: the memoised coverage predicates (component
+    decompositions, reach bitmaps, span paths) are global within the
+    view graph — a far-away edge change can flip any node's verdict —
+    so per-node retention inside one view would be unsound.  In the
+    steady state (retained view graphs across mobility deltas) the
+    stamp never moves and the memo survives verbatim.
     """
+    stamp = view.graph.version_stamp()
     try:
-        return view._derived_cache  # type: ignore[attr-defined]
+        cache = view._derived_cache  # type: ignore[attr-defined]
     except AttributeError:
-        cache: Dict = {}
+        cache = {}
         object.__setattr__(view, "_derived_cache", cache)
+        object.__setattr__(view, "_derived_cache_stamp", stamp)
         return cache
+    if getattr(view, "_derived_cache_stamp", None) != stamp:
+        cache = {}
+        object.__setattr__(view, "_derived_cache", cache)
+        object.__setattr__(view, "_derived_cache_stamp", stamp)
+    return cache
 
 
 @dataclass(frozen=True)

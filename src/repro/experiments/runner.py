@@ -14,11 +14,16 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..algorithms.base import BroadcastProtocol
-from ..core.priority import scheme_by_name
+from ..core.coverage import coverage_condition
+from ..core.priority import IdPriority, PriorityScheme, scheme_by_name
+from ..core.views import local_view
 from ..graph.generators import random_connected_network
+from ..graph.mobility import RandomWaypointModel
+from ..graph.topology import Topology
+from ..graph.unit_disk import build_unit_disk_graph, edge_flips
 from ..instrument import collecting
 from ..metrics.results import DataPoint, ResultTable, Series
 from ..metrics.stats import repeat_until_confident
@@ -27,10 +32,12 @@ from .config import FigureSpec, PanelSpec, RunSettings, SeriesSpec
 
 __all__ = [
     "CoverageViolation",
+    "MobilityStep",
     "point_seed",
     "measure_point",
     "run_panel",
     "run_figure",
+    "run_mobility_sweep",
 ]
 
 
@@ -183,3 +190,149 @@ def run_figure(
 
         return run_figure_parallel(figure, settings, progress)
     return [run_panel(panel, settings, progress) for panel in figure.panels]
+
+
+@dataclass(frozen=True)
+class MobilityStep:
+    """One mobility step's forward-set snapshot.
+
+    ``forward`` is the exact forward set under the generic scheme's
+    coverage condition (Theorem 1: every node whose k-hop local view
+    does *not* certify coverage forwards); ``redecided`` counts how many
+    coverage conditions were actually evaluated this step (``n`` on the
+    rebuild path, the dirty-set size on the incremental path).
+    """
+
+    step: int
+    time: float
+    forward: Tuple[int, ...]
+    redecided: int
+    added_edges: int
+    removed_edges: int
+
+
+def _forward_decision(
+    graph: Topology,
+    node: int,
+    k: int,
+    scheme: PriorityScheme,
+    metrics: Dict[int, Tuple[float, ...]],
+) -> bool:
+    view = local_view(graph, node, k, scheme, metrics=metrics)
+    return not coverage_condition(view, node)
+
+
+def run_mobility_sweep(
+    model: RandomWaypointModel,
+    steps: int,
+    dt: float,
+    scheme: Optional[PriorityScheme] = None,
+    k: int = 2,
+    incremental: bool = True,
+) -> List[MobilityStep]:
+    """Exact forward sets across a mobility trace, one entry per step.
+
+    With ``incremental=True`` the sweep reuses **one mutable**
+    :class:`Topology` across adjacent steps: each step's link flips go
+    through :meth:`Topology.apply_delta`
+    (via :meth:`~repro.graph.mobility.RandomWaypointModel.
+    snapshot_deltas`), and only nodes inside the dirty ball of radius
+    ``k + scheme.metric_locality`` re-evaluate their coverage condition
+    — a changed edge can alter a cached decision at ``v`` only if an
+    endpoint lies within ``k`` hops of some node visible to ``v``
+    (Definition 2 locality) or within ``metric_locality`` hops of one
+    (metric drift), i.e. within ``k + metric_locality`` of ``v``.
+    Schemes that leave ``metric_locality`` as ``None`` re-decide every
+    node per step, which is always safe.
+
+    With ``incremental=False`` every step rebuilds the unit-disk graph
+    from scratch and re-decides all nodes — the oracle the benchmark's
+    equivalence gate compares against.  Both paths drive the model's RNG
+    identically (only :meth:`~repro.graph.mobility.RandomWaypointModel.
+    advance` draws), so equally-seeded models produce byte-identical
+    ``forward`` tuples either way.
+    """
+    if steps < 0:
+        raise ValueError(f"steps must be non-negative, got {steps}")
+    scheme = scheme or IdPriority()
+    if incremental:
+        return _mobility_sweep_incremental(model, steps, dt, scheme, k)
+    return _mobility_sweep_rebuild(model, steps, dt, scheme, k)
+
+
+def _mobility_sweep_incremental(
+    model: RandomWaypointModel,
+    steps: int,
+    dt: float,
+    scheme: PriorityScheme,
+    k: int,
+) -> List[MobilityStep]:
+    locality = scheme.metric_locality
+    radius = None if locality is None else k + locality
+    extra = () if radius is None else (radius,)
+    decisions: Dict[int, bool] = {}
+    metrics: Optional[Dict[int, Tuple[float, ...]]] = None
+    results: List[MobilityStep] = []
+    for snap in model.snapshot_deltas(dt, steps, extra_radii=extra):
+        graph = snap.graph.topology
+        if not decisions:
+            stale = graph.nodes()  # first step: everything undecided
+        elif snap.report is None:
+            stale = []  # no link flipped; every cached decision stands
+        elif radius is None or not snap.report.fast_path:
+            stale = graph.nodes()
+        else:
+            stale = sorted(snap.report.dirty_at(radius))
+        if metrics is None or (snap.report is not None and stale):
+            # Metric tables are O(n) for the built-in schemes — cheap
+            # next to view extraction, and only rebuilt on flip steps.
+            metrics = scheme.metrics(graph)
+        for node in stale:
+            decisions[node] = _forward_decision(graph, node, k, scheme, metrics)
+        results.append(
+            MobilityStep(
+                step=snap.step,
+                time=snap.time,
+                forward=tuple(sorted(
+                    node for node, flag in decisions.items() if flag
+                )),
+                redecided=len(stale),
+                added_edges=len(snap.added_edges),
+                removed_edges=len(snap.removed_edges),
+            )
+        )
+    return results
+
+
+def _mobility_sweep_rebuild(
+    model: RandomWaypointModel,
+    steps: int,
+    dt: float,
+    scheme: PriorityScheme,
+    k: int,
+) -> List[MobilityStep]:
+    # Diff step 0 against the pre-advance positions, exactly like the
+    # incremental path's baseline snapshot, so flip counts line up.
+    previous = build_unit_disk_graph(model.positions(), model.radius).topology
+    results: List[MobilityStep] = []
+    for step in range(steps):
+        model.advance(dt)
+        positions = model.positions()
+        added, removed = edge_flips(positions, model.radius, previous)
+        graph = build_unit_disk_graph(positions, model.radius).topology
+        metrics = scheme.metrics(graph)
+        results.append(
+            MobilityStep(
+                step=step,
+                time=model.time,
+                forward=tuple(sorted(
+                    node for node in graph.nodes()
+                    if _forward_decision(graph, node, k, scheme, metrics)
+                )),
+                redecided=graph.node_count(),
+                added_edges=len(added),
+                removed_edges=len(removed),
+            )
+        )
+        previous = graph
+    return results

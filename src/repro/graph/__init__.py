@@ -2,10 +2,11 @@
 
 from .geometry import Area, Point, distance, grid_points, random_points
 from .nodeindex import NodeIndex, flood_fill, popcount
-from .topology import Topology
+from .topology import DeltaReport, Topology
 from .unit_disk import (
     UnitDiskGraph,
     build_unit_disk_graph,
+    edge_flips,
     range_for_average_degree,
     range_for_link_count,
 )
@@ -28,7 +29,7 @@ from .io import (
     network_to_json,
     to_networkx,
 )
-from .mobility import RandomWaypointModel
+from .mobility import RandomWaypointModel, SnapshotDelta
 
 __all__ = [
     "Area",
@@ -39,9 +40,11 @@ __all__ = [
     "NodeIndex",
     "flood_fill",
     "popcount",
+    "DeltaReport",
     "Topology",
     "UnitDiskGraph",
     "build_unit_disk_graph",
+    "edge_flips",
     "range_for_average_degree",
     "range_for_link_count",
     "GenerationError",
@@ -63,4 +66,5 @@ __all__ = [
     "cluster_backbone",
     "lowest_id_clustering",
     "RandomWaypointModel",
+    "SnapshotDelta",
 ]

@@ -12,12 +12,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 from .geometry import Area, Point
-from .unit_disk import UnitDiskGraph, build_unit_disk_graph
+from .topology import DeltaReport
+from .unit_disk import UnitDiskGraph, build_unit_disk_graph, edge_flips
 
-__all__ = ["Waypoint", "RandomWaypointModel"]
+__all__ = ["SnapshotDelta", "Waypoint", "RandomWaypointModel"]
 
 
 @dataclass
@@ -28,6 +29,26 @@ class Waypoint:
     target: Point
     speed: float
     pause_remaining: float = 0.0
+
+
+@dataclass(frozen=True)
+class SnapshotDelta:
+    """One mobility step expressed as a delta over a shared topology.
+
+    ``graph.topology`` is the *same mutable* :class:`Topology` object
+    across every step of one :meth:`RandomWaypointModel.snapshot_deltas`
+    iteration — mutated in place through ``apply_delta`` so per-epoch
+    caches survive for every node outside the dirty set.  ``report`` is
+    ``None`` on steps where no link flipped (the topology is untouched,
+    caches survive verbatim).
+    """
+
+    step: int
+    time: float
+    graph: UnitDiskGraph
+    added_edges: Tuple[Tuple[int, int], ...]
+    removed_edges: Tuple[Tuple[int, int], ...]
+    report: Optional[DeltaReport]
 
 
 class RandomWaypointModel:
@@ -123,9 +144,81 @@ class RandomWaypointModel:
         return build_unit_disk_graph(self.positions(), self.radius)
 
     def snapshots(self, dt: float, count: int) -> Iterator[UnitDiskGraph]:
-        """Yield ``count`` snapshots, advancing ``dt`` before each."""
+        """Yield ``count`` snapshots, advancing ``dt`` before each.
+
+        Steps where no link crosses the radius threshold reuse the
+        previous snapshot's :class:`Topology` object unchanged (only the
+        positions differ), so downstream epoch caches survive verbatim
+        instead of being rebuilt for an identical adjacency.
+        """
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
+        previous: Optional[UnitDiskGraph] = None
         for _ in range(count):
             self.advance(dt)
-            yield self.snapshot()
+            current = self.positions()
+            if previous is not None:
+                added, removed = edge_flips(
+                    current, self.radius, previous.topology
+                )
+                if not added and not removed:
+                    previous = UnitDiskGraph(
+                        topology=previous.topology,
+                        positions=current,
+                        radius=self.radius,
+                    )
+                    yield previous
+                    continue
+            previous = build_unit_disk_graph(current, self.radius)
+            yield previous
+
+    def snapshot_deltas(
+        self,
+        dt: float,
+        count: int,
+        extra_radii: Iterable[int] = (),
+    ) -> Iterator[SnapshotDelta]:
+        """Yield ``count`` steps as deltas over one shared topology.
+
+        The delta-emitting variant of :meth:`snapshots`: the unit-disk
+        graph is built once from the pre-advance positions, then each
+        step diffs the new positions against the shared topology
+        (:func:`~repro.graph.unit_disk.edge_flips`) and applies the flip
+        set through :meth:`Topology.apply_delta`, so every cached query
+        outside the dirty ball survives the step.  ``extra_radii`` is
+        forwarded to ``apply_delta`` for callers that keep their own
+        radius-keyed caches (e.g. k-hop decision caches) and need
+        :meth:`DeltaReport.dirty_at` at those radii.
+
+        Step ``i``'s adjacency is identical to the ``i``-th graph from
+        :meth:`snapshots` on an equally-seeded model — only the cache
+        behaviour differs.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        base = self.snapshot()
+        topology = base.topology
+        radii = tuple(sorted(dict.fromkeys(extra_radii)))
+        for step in range(count):
+            self.advance(dt)
+            current = self.positions()
+            added, removed = edge_flips(current, self.radius, topology)
+            report = None
+            if added or removed:
+                report = topology.apply_delta(
+                    added_edges=added,
+                    removed_edges=removed,
+                    extra_radii=radii,
+                )
+            yield SnapshotDelta(
+                step=step,
+                time=self.time,
+                graph=UnitDiskGraph(
+                    topology=topology,
+                    positions=current,
+                    radius=self.radius,
+                ),
+                added_edges=tuple(added),
+                removed_edges=tuple(removed),
+                report=report,
+            )

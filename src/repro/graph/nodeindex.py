@@ -12,9 +12,12 @@ per-edge set insert.
 :class:`NodeIndex` pins the node-id → bit-position mapping.  The mapping
 is *stable* for the life of the index (positions follow the graph's node
 insertion order), so masks produced against the same index are mutually
-compatible; a structural change to the underlying graph must produce a
+compatible; a change to the underlying graph's *node set* must produce a
 fresh index (see ``Topology.node_index`` — the index is memoised behind
-the topology's mutation epoch).
+the topology's mutation epoch).  Edge-only deltas keep the index: the
+node universe is unchanged, so ``Topology.apply_delta`` patches just the
+affected adjacency rows of the cached mask table (:func:`patch_rows`)
+and every retained mask stays comparable across the delta.
 
 Masks are plain ``int`` values: share them freely, but treat any mask
 table obtained from a :class:`~repro.graph.topology.Topology` as a
@@ -23,9 +26,9 @@ read-only snapshot — it is cached and shared between callers.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Tuple
 
-__all__ = ["NodeIndex", "flood_fill", "popcount"]
+__all__ = ["NodeIndex", "flood_fill", "patch_rows", "popcount"]
 
 
 if hasattr(int, "bit_count"):  # Python >= 3.10
@@ -114,6 +117,25 @@ class NodeIndex:
             out.append(nodes[low.bit_length() - 1])
             mask ^= low
         return out
+
+
+def patch_rows(
+    index: NodeIndex,
+    masks: Tuple[int, ...],
+    rows: Mapping[int, Iterable[int]],
+) -> Tuple[int, ...]:
+    """A copy of ``masks`` with the given adjacency rows rebuilt.
+
+    ``rows`` maps node id → its new neighbor iterable; every other row is
+    carried over untouched.  Used by ``Topology.apply_delta`` to update a
+    cached mask table in place of a full O(n + m) rebuild when only the
+    changed edges' endpoint rows differ — the :class:`NodeIndex` itself
+    (and therefore every mask's coordinate system) is unchanged.
+    """
+    patched = list(masks)
+    for node, adjacent in rows.items():
+        patched[index.position(node)] = index.mask_of(adjacent)
+    return tuple(patched)
 
 
 def flood_fill(seed: int, allowed: int, masks: Tuple[int, ...]) -> int:

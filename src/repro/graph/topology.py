@@ -35,12 +35,14 @@ mutation epoch as every other memoised query.
 from __future__ import annotations
 
 from collections import deque
+from dataclasses import dataclass
 from typing import (
     Dict,
     FrozenSet,
     Iterable,
     Iterator,
     List,
+    Mapping,
     Optional,
     Sequence,
     Set,
@@ -48,11 +50,53 @@ from typing import (
 )
 
 from ..instrument import _STACK as _COUNTER_STACK
-from .nodeindex import NodeIndex, flood_fill, popcount
+from .nodeindex import NodeIndex, flood_fill, patch_rows, popcount
 
-__all__ = ["Topology"]
+__all__ = ["DeltaReport", "Topology"]
 
 Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class DeltaReport:
+    """What one :meth:`Topology.apply_delta` call invalidated.
+
+    ``dirty_nodes`` is the union dirty set over every radius the delta
+    had to consider (sorted, so downstream consumers can iterate it
+    deterministically).  ``dirty_by_radius`` maps each considered radius
+    to its own dirty ball; it is ``None`` when the delta fell back to the
+    full-rebuild path, in which case *every* node is dirty at *every*
+    radius.  ``entries_retained``/``entries_evicted`` count query-cache
+    entries that survived/died (the patched mask table counts as
+    retained).
+    """
+
+    fast_path: bool
+    dirty_nodes: Tuple[int, ...]
+    entries_retained: int
+    entries_evicted: int
+    dirty_by_radius: Optional[Mapping[int, FrozenSet[int]]]
+
+    def dirty_at(self, radius: int) -> FrozenSet[int]:
+        """The dirty set at ``radius`` — nodes whose cached radius-
+        ``radius`` queries (k-hop masks, truncated BFS, view graphs) may
+        have changed.
+
+        On the fallback path everything is dirty.  On the fast path the
+        radius must have been considered by the delta (it was either
+        present in the query cache or requested through ``extra_radii``);
+        asking for an uncomputed radius raises ``KeyError`` rather than
+        guessing.
+        """
+        if self.dirty_by_radius is None:
+            return frozenset(self.dirty_nodes)
+        try:
+            return self.dirty_by_radius[radius]
+        except KeyError as exc:
+            raise KeyError(
+                f"radius {radius} was not considered by this delta; "
+                f"pass extra_radii=({radius},) to apply_delta"
+            ) from exc
 
 
 class Topology:
@@ -74,6 +118,18 @@ class Topology:
         self._epoch: int = 0
         self._cache_epoch: int = 0
         self._query_cache: Dict[Tuple, object] = {}
+        #: Monotone version stamp: bumped by every structural change
+        #: *including* :meth:`apply_delta` (which leaves ``_epoch``
+        #: untouched on the fast path so retained cache entries survive).
+        #: External caches record :meth:`version_stamp` and consult
+        #: :meth:`dirtied_since` to decide what to drop.
+        self._version: int = 0
+        #: Version at which *every* node was last dirtied (epoch bumps).
+        self._all_dirty_version: int = 0
+        #: Per-node version of the last delta whose dirty set contained
+        #: the node; pruned on epoch bumps (``_all_dirty_version``
+        #: dominates everything recorded before them).
+        self._node_stamps: Dict[int, int] = {}
         for node in nodes:
             self.add_node(node)
         for u, v in edges:
@@ -83,11 +139,25 @@ class Topology:
     # Construction
     # ------------------------------------------------------------------
 
+    def _bump_epoch(self) -> None:
+        """Record a wholesale structural change (every node dirty).
+
+        The single chokepoint for epoch bumps: it advances the version
+        stamp in lockstep so external dirty-aware caches (views, the
+        simulation environment) observe full mutations exactly like
+        delta applications — just with an all-dirty node set.
+        """
+        self._epoch += 1
+        self._version += 1
+        self._all_dirty_version = self._version
+        if self._node_stamps:
+            self._node_stamps.clear()
+
     def add_node(self, node: int) -> None:
         """Add ``node`` if not already present."""
         if node not in self._adj:
             self._adj[node] = set()
-            self._epoch += 1
+            self._bump_epoch()
 
     def add_edge(self, u: int, v: int) -> None:
         """Add the undirected edge ``{u, v}``, creating endpoints as needed."""
@@ -98,7 +168,7 @@ class Topology:
         if v not in self._adj[u]:
             self._adj[u].add(v)
             self._adj[v].add(u)
-            self._epoch += 1
+            self._bump_epoch()
 
     def remove_edge(self, u: int, v: int) -> None:
         """Remove the undirected edge ``{u, v}``; raise if absent."""
@@ -107,7 +177,7 @@ class Topology:
             self._adj[v].remove(u)
         except KeyError as exc:
             raise KeyError(f"edge ({u}, {v}) not in graph") from exc
-        self._epoch += 1
+        self._bump_epoch()
 
     def remove_node(self, node: int) -> None:
         """Remove ``node`` and all incident edges; raise if absent."""
@@ -116,7 +186,7 @@ class Topology:
         for neighbor in self._adj[node]:
             self._adj[neighbor].discard(node)
         del self._adj[node]
-        self._epoch += 1
+        self._bump_epoch()
 
     def copy(self) -> "Topology":
         """An independent copy of the graph (caches are not shared)."""
@@ -157,6 +227,299 @@ class Topology:
         elif _COUNTER_STACK:
             _COUNTER_STACK[-1].topology_cache_hits += 1
         return cache[key]
+
+    # ------------------------------------------------------------------
+    # Incremental deltas (dirty-scoped invalidation)
+    # ------------------------------------------------------------------
+
+    def version_stamp(self) -> int:
+        """A monotone stamp advanced by every structural change.
+
+        Unlike ``_epoch`` (which :meth:`apply_delta` deliberately leaves
+        untouched so the query cache survives), the version stamp moves
+        on *every* mutation.  External caches record it and later ask
+        :meth:`dirtied_since` which of their entries to drop.
+        """
+        return self._version
+
+    def node_stamp(self, node: int) -> int:
+        """The version at which ``node`` was last in a dirty set."""
+        stamp = self._node_stamps.get(node, 0)
+        if stamp < self._all_dirty_version:
+            return self._all_dirty_version
+        return stamp
+
+    def dirtied_since(self, node: int, version: int) -> bool:
+        """Whether ``node``'s neighborhood may have changed after
+        ``version`` (as returned by :meth:`version_stamp`).
+
+        Conservative: a node absent from the graph, or dirtied at *any*
+        radius the intervening deltas considered, reports ``True``.
+        """
+        if node not in self._adj:
+            return True
+        return self.node_stamp(node) > version
+
+    def _dirty_ball(self, seeds: Iterable[int], radius: int) -> Set[int]:
+        """All nodes within ``radius`` hops of any seed, on the current
+        adjacency (seeds not currently in the graph are skipped)."""
+        seen = {node for node in seeds if node in self._adj}
+        frontier = list(seen)
+        for _ in range(radius):
+            grown: List[int] = []
+            for node in frontier:
+                for neighbor in self._adj[node]:
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        grown.append(neighbor)
+            if not grown:
+                break
+            frontier = grown
+        return seen
+
+    def _patched_mask_table(
+        self,
+        table: Tuple[NodeIndex, Tuple[int, ...]],
+        endpoints: Iterable[int],
+    ) -> Tuple[NodeIndex, Tuple[int, ...]]:
+        """A copy of the cached mask table with the endpoints' adjacency
+        rows rebuilt from the (already mutated) adjacency dict.
+
+        Only endpoint rows can change under an edge-only delta, and the
+        node set is unchanged, so the :class:`NodeIndex` itself is
+        reused verbatim — masks built before and after the delta stay
+        comparable.
+        """
+        index, masks = table
+        patched = patch_rows(
+            index, masks, {node: self._adj[node] for node in endpoints}
+        )
+        return index, patched
+
+    def apply_delta(
+        self,
+        added_edges: Iterable[Edge] = (),
+        removed_edges: Iterable[Edge] = (),
+        added_nodes: Iterable[int] = (),
+        removed_nodes: Iterable[int] = (),
+        extra_radii: Iterable[int] = (),
+    ) -> DeltaReport:
+        """Apply a structural delta, evicting only dirty cache entries.
+
+        The locality argument (paper Definition 2): a cached radius-``r``
+        query for ``v`` — k-hop mask, truncated BFS, view graph — can
+        only change if some changed-edge endpoint lies within ``r`` hops
+        of ``v`` in the old *or* new graph, because a path of length
+        ``<= r`` from ``v`` through a changed edge reaches one of its
+        endpoints in ``< r`` hops, and an edge whose endpoints are both
+        on the exactly-``r`` ring is invisible in ``G_r(v)`` anyway.  So
+        the **fast path** (edge-only deltas between existing nodes)
+        computes, per radius present in the query cache (plus any
+        ``extra_radii`` the caller's own caches care about), the dirty
+        ball around the changed endpoints on the old and the new
+        adjacency, evicts exactly those entries, and patches the
+        endpoints' :meth:`adjacency_masks` rows in place under the
+        stable :class:`~repro.graph.nodeindex.NodeIndex`.
+
+        Node additions/removals (and edges naming unknown endpoints)
+        change the index capacity, so they **fall back** to the ordinary
+        mutators — a full epoch bump — and the report marks every node
+        dirty.  Correctness never depends on the fast path.
+
+        Deltas are validated before anything mutates: removed edges must
+        exist, added edges between existing nodes must be absent, added
+        nodes must be new, removed nodes must exist, and no edge may be
+        both added and removed.
+        """
+        adds = list(dict.fromkeys(self._normalised(added_edges)))
+        drops = list(dict.fromkeys(self._normalised(removed_edges)))
+        new_nodes = list(dict.fromkeys(added_nodes))
+        dead_nodes = list(dict.fromkeys(removed_nodes))
+        radii = sorted(dict.fromkeys(extra_radii))
+        for radius in radii:
+            if radius < 0:
+                raise ValueError(f"radii must be non-negative, got {radius}")
+        self._validate_delta(adds, drops, new_nodes, dead_nodes)
+
+        fast = not new_nodes and not dead_nodes and all(
+            u in self._adj and v in self._adj for u, v in adds
+        )
+        if not fast:
+            return self._apply_delta_slow(adds, drops, new_nodes, dead_nodes)
+        if not adds and not drops:
+            # Nothing changed: no version bump, nothing to evict.
+            if self._cache_epoch != self._epoch:
+                self._query_cache.clear()
+                self._cache_epoch = self._epoch
+            if _COUNTER_STACK:
+                counters = _COUNTER_STACK[-1]
+                counters.delta_applies += 1
+                counters.cache_entries_retained += len(self._query_cache)
+            return DeltaReport(
+                fast_path=True,
+                dirty_nodes=(),
+                entries_retained=len(self._query_cache),
+                entries_evicted=0,
+                dirty_by_radius={radius: frozenset() for radius in radii},
+            )
+        return self._apply_delta_fast(adds, drops, radii)
+
+    @staticmethod
+    def _normalised(edges: Iterable[Edge]) -> List[Edge]:
+        """Edges as ``(min, max)`` tuples; self-loops rejected."""
+        result: List[Edge] = []
+        for u, v in edges:
+            if u == v:
+                raise ValueError(f"self-loop on node {u} is not allowed")
+            result.append((u, v) if u < v else (v, u))
+        return result
+
+    def _validate_delta(
+        self,
+        adds: List[Edge],
+        drops: List[Edge],
+        new_nodes: List[int],
+        dead_nodes: List[int],
+    ) -> None:
+        overlap = set(adds) & set(drops)
+        if overlap:
+            raise ValueError(
+                f"edges both added and removed: {sorted(overlap)}"
+            )
+        for u, v in drops:
+            if not self.has_edge(u, v):
+                raise KeyError(f"edge ({u}, {v}) not in graph")
+        dead = set(dead_nodes)
+        for node in dead_nodes:
+            if node not in self._adj:
+                raise KeyError(f"node {node} not in graph")
+        for node in new_nodes:
+            if node in self._adj:
+                raise ValueError(f"node {node} already in graph")
+        for u, v in adds:
+            if u in dead or v in dead:
+                raise ValueError(
+                    f"added edge ({u}, {v}) touches a removed node"
+                )
+            if u in self._adj and v in self._adj and self.has_edge(u, v):
+                raise ValueError(f"edge ({u}, {v}) already in graph")
+
+    def _apply_delta_slow(
+        self,
+        adds: List[Edge],
+        drops: List[Edge],
+        new_nodes: List[int],
+        dead_nodes: List[int],
+    ) -> DeltaReport:
+        """Fallback: node-set changes go through the ordinary mutators
+        (full epoch bump; nothing is retained, everything is dirty)."""
+        for u, v in drops:
+            self.remove_edge(u, v)
+        for node in dead_nodes:
+            self.remove_node(node)
+        for node in new_nodes:
+            self.add_node(node)
+        for u, v in adds:
+            self.add_edge(u, v)
+        dirty = tuple(sorted(self._adj))
+        if _COUNTER_STACK:
+            counters = _COUNTER_STACK[-1]
+            counters.delta_applies += 1
+            counters.dirty_nodes_invalidated += len(dirty)
+        return DeltaReport(
+            fast_path=False,
+            dirty_nodes=dirty,
+            entries_retained=0,
+            entries_evicted=len(self._query_cache),
+            dirty_by_radius=None,
+        )
+
+    def _apply_delta_fast(
+        self,
+        adds: List[Edge],
+        drops: List[Edge],
+        extra_radii: List[int],
+    ) -> DeltaReport:
+        # Flush a pending lazy clear first so the eviction scan only ever
+        # sees entries that are live for the current epoch.
+        if self._cache_epoch != self._epoch:
+            self._query_cache.clear()
+            self._cache_epoch = self._epoch
+
+        endpoints = sorted({node for edge in adds + drops for node in edge})
+        endpoint_set = set(endpoints)
+
+        # Every radius with cached entries must get a dirty ball, plus
+        # any radius the caller's own caches are keyed on.
+        radii = set(extra_radii)
+        for key in self._query_cache:
+            tag = key[0]
+            if tag in ("k_hop_mask", "view_graph"):
+                radii.add(key[2])
+            elif tag == "bfs" and key[2] is not None:
+                radii.add(key[2])
+
+        dirty: Dict[int, Set[int]] = {
+            radius: self._dirty_ball(endpoints, radius) for radius in radii
+        }
+        for u, v in drops:
+            self._adj[u].discard(v)
+            self._adj[v].discard(u)
+        for u, v in adds:
+            self._adj[u].add(v)
+            self._adj[v].add(u)
+        for radius in radii:
+            dirty[radius] |= self._dirty_ball(endpoints, radius)
+
+        keep: Dict[Tuple, object] = {}
+        evicted = 0
+        for key, value in self._query_cache.items():
+            tag = key[0]
+            if tag == "node_index":
+                keep[key] = value
+            elif tag == "mask_table":
+                keep[key] = self._patched_mask_table(value, endpoints)  # type: ignore[arg-type]
+            elif tag == "neighbors":
+                if key[1] in endpoint_set:
+                    evicted += 1
+                else:
+                    keep[key] = value
+            elif tag in ("k_hop_mask", "view_graph"):
+                if key[1] in dirty[key[2]]:
+                    evicted += 1
+                else:
+                    keep[key] = value
+            elif tag == "bfs":
+                if key[2] is None or key[1] in dirty[key[2]]:
+                    evicted += 1
+                else:
+                    keep[key] = value
+            else:
+                # max_degree and any future aggregate: evict, stay safe.
+                evicted += 1
+        self._query_cache = keep
+
+        self._version += 1
+        dirty_union: Set[int] = set(endpoint_set)
+        for ball in dirty.values():
+            dirty_union |= ball
+        for node in dirty_union:
+            self._node_stamps[node] = self._version
+
+        if _COUNTER_STACK:
+            counters = _COUNTER_STACK[-1]
+            counters.delta_applies += 1
+            counters.dirty_nodes_invalidated += len(dirty_union)
+            counters.cache_entries_retained += len(keep)
+        return DeltaReport(
+            fast_path=True,
+            dirty_nodes=tuple(sorted(dirty_union)),
+            entries_retained=len(keep),
+            entries_evicted=evicted,
+            dirty_by_radius={
+                radius: frozenset(dirty[radius]) for radius in sorted(radii)
+            },
+        )
 
     # ------------------------------------------------------------------
     # Node-indexed bitmask layer

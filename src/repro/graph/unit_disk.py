@@ -21,6 +21,7 @@ from .topology import Topology
 __all__ = [
     "UnitDiskGraph",
     "build_unit_disk_graph",
+    "edge_flips",
     "range_for_link_count",
     "range_for_average_degree",
 ]
@@ -84,6 +85,41 @@ def build_unit_disk_graph(
             if pu.distance_squared_to(positions[v]) <= radius_sq:
                 topology.add_edge(u, v)
     return UnitDiskGraph(topology=topology, positions=positions, radius=radius)
+
+
+def edge_flips(
+    positions: Dict[int, Point],
+    radius: float,
+    topology: Topology,
+) -> Tuple[List[Tuple[int, int]], List[Tuple[int, int]]]:
+    """``(added, removed)``: links that flip between ``topology`` and the
+    unit-disk graph induced by ``positions``/``radius``.
+
+    The diff that drives :meth:`Topology.apply_delta` across mobility
+    steps: one O(n^2) squared-distance scan (the same cost as the pair
+    loop in :func:`build_unit_disk_graph`, but with no graph
+    construction or cache loss when nothing flips).  Both lists hold
+    ``(min, max)`` pairs in sorted order.  The node sets must match —
+    mobility moves nodes, it does not add or remove them.
+    """
+    if radius < 0:
+        raise ValueError(f"radius must be non-negative, got {radius}")
+    if set(positions) != set(topology.nodes()):
+        raise ValueError("positions and topology disagree on the node set")
+    added: List[Tuple[int, int]] = []
+    removed: List[Tuple[int, int]] = []
+    nodes = list(positions)
+    radius_sq = radius * radius
+    for i, u in enumerate(nodes):
+        pu = positions[u]
+        for v in nodes[i + 1:]:
+            linked = pu.distance_squared_to(positions[v]) <= radius_sq
+            if linked != topology.has_edge(u, v):
+                pair = (u, v) if u < v else (v, u)
+                (added if linked else removed).append(pair)
+    added.sort()
+    removed.sort()
+    return added, removed
 
 
 def _sorted_pair_distances_squared(positions: Dict[int, Point]) -> List[float]:

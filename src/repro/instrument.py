@@ -63,6 +63,10 @@ class InstrumentationCounters:
     topology_cache_hits: int = 0
     topology_cache_misses: int = 0
     bfs_runs: int = 0
+    # graph/topology.py delta layer (apply_delta)
+    delta_applies: int = 0
+    dirty_nodes_invalidated: int = 0
+    cache_entries_retained: int = 0
     # graph/topology.py + core/coverage.py bitmask kernels
     mask_table_builds: int = 0
     mask_khop_runs: int = 0

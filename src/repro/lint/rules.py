@@ -713,3 +713,107 @@ class ExceptionSwallowRule(Rule):
                 continue  # a docstring or Ellipsis is still a swallow
             return False
         return True
+
+
+@register
+class DeltaLayerIntegrityRule(Rule):
+    """DET009: the delta layer's bookkeeping poked from outside Topology."""
+
+    code = "DET009"
+    name = "delta-layer-integrity"
+    description = (
+        "Dirty-scoped invalidation (Topology.apply_delta) is only sound "
+        "when version stamps, node stamps, and cache entries change "
+        "exclusively through Topology's own API: flags writes or "
+        "mutator calls on _version/_all_dirty_version/_node_stamps of a "
+        "foreign instance, del statements on any foreign cache "
+        "attribute (which DET003's assignment checks miss), and calls "
+        "to the private epoch/cache internals (_bump_epoch, _cached, "
+        "_apply_delta_fast, _apply_delta_slow) on a foreign receiver."
+    )
+
+    STAMP_ATTRS = frozenset({"_version", "_all_dirty_version", "_node_stamps"})
+    #: DET003's attrs plus the stamp attrs — the full surface a ``del``
+    #: statement must not reach into from outside the owner.
+    DELETABLE_ATTRS = CacheMutationRule.CACHE_ATTRS | STAMP_ATTRS
+    PRIVATE_API = frozenset(
+        {"_bump_epoch", "_cached", "_apply_delta_fast", "_apply_delta_slow"}
+    )
+    MUTATORS = CacheMutationRule.MUTATORS
+
+    def applies_to(self, path: str) -> bool:
+        parts = path_parts(path)
+        # topology.py owns the invariant; everywhere else must go
+        # through apply_delta / the public mutators.
+        return "tests" not in parts and parts[-1:] != ("topology.py",)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    attribute = self._foreign(target, self.STAMP_ATTRS)
+                    if attribute is not None:
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"write to {attribute} outside Topology "
+                            "desynchronises dirty tracking; apply "
+                            "structural changes through apply_delta or "
+                            "the public mutators",
+                        )
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    attribute = self._foreign(target, self.DELETABLE_ATTRS)
+                    if attribute is not None:
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"del on {attribute} outside the owning "
+                            "instance evicts behind the dirty tracker's "
+                            "back; use the owner's API",
+                        )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr in self.PRIVATE_API and self._foreign_base(
+                    node.func.value
+                ):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"call to the private {node.func.attr}() on a "
+                        "foreign instance bypasses delta bookkeeping; "
+                        "use apply_delta or the public query API",
+                    )
+                elif node.func.attr in self.MUTATORS:
+                    attribute = self._foreign(
+                        node.func.value, self.STAMP_ATTRS
+                    )
+                    if attribute is not None:
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"{attribute}.{node.func.attr}() outside "
+                            "Topology desynchronises dirty tracking",
+                        )
+
+    def _foreign(
+        self, node: ast.AST, attrs: "frozenset[str]"
+    ) -> Optional[str]:
+        """``obj._attr``-style access (through any subscripts) where
+        ``obj`` is not ``self``/``cls`` and ``_attr`` is in ``attrs``."""
+        while isinstance(node, ast.Subscript):
+            node = node.value
+        if isinstance(node, ast.Attribute) and node.attr in attrs:
+            if self._foreign_base(node.value):
+                return node.attr
+        return None
+
+    @staticmethod
+    def _foreign_base(base: ast.AST) -> bool:
+        return not (isinstance(base, ast.Name) and base.id in ("self", "cls"))

@@ -91,6 +91,9 @@ class SimulationEnvironment:
         self._view_metrics: Dict[
             int, Tuple[Topology, Dict[int, Tuple[float, ...]]]
         ] = {}
+        #: The graph's version stamp the caches above were built against;
+        #: :meth:`sync_topology` catches up when it moves.
+        self._graph_version = graph.version_stamp()
 
     def with_scheme(self, scheme: PriorityScheme) -> "SimulationEnvironment":
         """A sibling environment with a different priority scheme.
@@ -106,10 +109,38 @@ class SimulationEnvironment:
         sibling._view_cache = self._view_cache
         sibling._two_hop_cache = self._two_hop_cache
         sibling._view_metrics = {}
+        sibling._graph_version = self.graph.version_stamp()
         return sibling
+
+    def sync_topology(self) -> None:
+        """Catch up with structural changes to the deployment graph.
+
+        Mobility sweeps mutate the shared graph in place (through
+        :meth:`~repro.graph.topology.Topology.apply_delta` or the plain
+        mutators); this environment notices through the graph's
+        :meth:`~repro.graph.topology.Topology.version_stamp` and drops
+        its derived caches.  The drop is wholesale but cheap: these are
+        latency caches over the topology's own dirty-retained query
+        cache, so re-fetching an entry for a node outside the dirty set
+        is an O(1) dictionary hit there — only genuinely dirty entries
+        get recomputed.  Clearing happens in place because
+        :meth:`with_scheme` siblings share the cache dicts by reference.
+        Called automatically by the accessors; callers that read
+        :attr:`metrics` directly after mutating the graph should call
+        this first.
+        """
+        stamp = self.graph.version_stamp()
+        if stamp == self._graph_version:
+            return
+        self._graph_version = stamp
+        self._view_cache.clear()
+        self._two_hop_cache.clear()
+        self._view_metrics.clear()
+        self.metrics = self.scheme.metrics(self.graph)
 
     def view_graph(self, node: int, hops: Optional[int]) -> Topology:
         """``G_k(node)``, or the full graph when ``hops`` is ``None``."""
+        self.sync_topology()
         key = (node, hops)
         cached = self._view_cache.get(key)
         if cached is None:
@@ -122,6 +153,7 @@ class SimulationEnvironment:
 
     def two_hop_set(self, node: int) -> FrozenSet[int]:
         """``N2(node)`` on the deployment graph (for TDP piggybacking)."""
+        self.sync_topology()
         cached = self._two_hop_cache.get(node)
         if cached is None:
             cached = frozenset(self.graph.k_hop_neighbors(node, 2))
@@ -141,6 +173,7 @@ class SimulationEnvironment:
         per-decision view the engine builds over it (views never mutate
         their metrics mapping).
         """
+        self.sync_topology()
         entry = self._view_metrics.get(id(view_graph))
         if entry is None or entry[0] is not view_graph:
             table = self.metrics

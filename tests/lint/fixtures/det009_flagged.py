@@ -1,0 +1,8 @@
+"""DET009 fixture: delta bookkeeping poked from outside Topology."""
+
+
+def meddle(graph, key):
+    graph._version += 1  # flagged: hand-rolled version bump
+    del graph._query_cache[key]  # flagged: eviction behind the tracker
+    graph._node_stamps.clear()  # flagged: stamp table wiped externally
+    graph._bump_epoch()  # flagged: private epoch API, foreign instance
