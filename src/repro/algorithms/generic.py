@@ -119,7 +119,21 @@ class GenericStatic(BroadcastProtocol):
             strong_coverage_condition if self.strong else coverage_condition
         )
         self._forward_set = set()
-        for node in env.graph.nodes():
+        nodes = env.graph.nodes()
+        if self.hops is None and nodes:
+            # The global view is node-independent, so one shared view
+            # serves every node: per-view memos (and the numpy backend's
+            # whole-graph sweep) amortise across the node set instead of
+            # being rebuilt per node.  Verdicts are unchanged — the
+            # per-node views were equal value objects.
+            view = env.make_view(
+                env.view_graph(nodes[0], None), frozenset(), frozenset()
+            )
+            for node in nodes:
+                if not condition(view, node):
+                    self._forward_set.add(node)
+            return
+        for node in nodes:
             view = env.make_view(
                 env.view_graph(node, self.hops), frozenset(), frozenset()
             )

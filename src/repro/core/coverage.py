@@ -22,7 +22,7 @@ All three operate on a :class:`~repro.core.views.View` and honour the
 
 Backends
 --------
-Two interchangeable implementations compute every predicate:
+Three interchangeable implementations compute every predicate:
 
 * ``bitset`` (the default) — the node-indexed bitmask kernel: the
   higher-priority eligible set is a priority-threshold mask read off a
@@ -32,10 +32,16 @@ Two interchangeable implementations compute every predicate:
   one ``&``, and domination is ``targets & ~cover == 0``.
 * ``sets`` — the original frozenset/union-find implementation, kept as
   the executable reference.
+* ``numpy`` — the batched word-table kernel
+  (:mod:`repro.core.coverage_numpy`): one decreasing-priority sweep per
+  view computes *every* node's uncovered pairs and strong verdict at
+  once, and component/span queries run vectorised frontier reductions
+  over the ``uint64`` word table.  Optional: requires numpy, with a
+  clear error (and the other backends untouched) when it is absent.
 
-Select with ``REPRO_COVERAGE_BACKEND=sets`` (or ``bitset``); the test
-suite cross-checks that both produce identical results — forward sets are
-byte-identical across backends.
+Select with ``REPRO_COVERAGE_BACKEND=sets`` (or ``bitset`` / ``numpy``);
+the test suite cross-checks that all backends produce identical results —
+forward sets are byte-identical across them.
 """
 
 from __future__ import annotations
@@ -58,15 +64,16 @@ __all__ = [
     "coverage_backend",
 ]
 
-_BACKENDS = ("bitset", "sets")
+_BACKENDS = ("bitset", "sets", "numpy")
 
 
 def coverage_backend() -> str:
     """The active backend name, from ``REPRO_COVERAGE_BACKEND``.
 
-    ``bitset`` (default) or ``sets``.  Read per call so tests and A/B
-    benchmarks can flip the environment variable between evaluations;
-    memoised results are keyed by backend, so flipping mid-view is safe.
+    ``bitset`` (default), ``sets``, or ``numpy``.  Read per call so tests
+    and A/B benchmarks can flip the environment variable between
+    evaluations; memoised results are keyed by backend, so flipping
+    mid-view is safe.
     """
     backend = os.environ.get("REPRO_COVERAGE_BACKEND", "bitset")
     if backend not in _BACKENDS:
@@ -250,6 +257,47 @@ def _reach_bitmaps_compute(view: View, v: int) -> Dict[int, int]:
 
 
 # ----------------------------------------------------------------------
+# Numpy backend: lazy import and per-view batched tables
+# ----------------------------------------------------------------------
+
+
+def _np_kernel():
+    """The :mod:`repro.core.coverage_numpy` module, or a clear error.
+
+    Imported lazily so the numpy dependency stays optional: the bitset
+    and sets backends never trigger this import.
+    """
+    from . import coverage_numpy
+
+    if coverage_numpy.np is None:
+        raise RuntimeError(
+            "REPRO_COVERAGE_BACKEND=numpy requires numpy, which is not "
+            "installed in this environment; use 'bitset' or 'sets'"
+        )
+    return coverage_numpy
+
+
+def _np_base(view: View):
+    """The per-view word-table context (memoised)."""
+    return _memo(
+        view, ("np-base",), lambda: _np_kernel().np_base(view)
+    )
+
+
+def _np_sweep(view: View):
+    """Every node's (uncovered pairs, strong verdict), in one sweep.
+
+    The whole batch is one memo entry: the first predicate evaluated on a
+    view pays the sweep, every later node reads its slot for free.
+    """
+    return _memo(
+        view,
+        ("np-sweep",),
+        lambda: _np_kernel().sweep_compute(view, _np_base(view)),
+    )
+
+
+# ----------------------------------------------------------------------
 # Sets backend: the original frozenset/union-find reference
 # ----------------------------------------------------------------------
 
@@ -328,11 +376,18 @@ def higher_priority_components(view: View, v: int) -> List[Set[int]]:
     predicate; treat the returned sets as read-only.  Component order is
     backend-dependent (their set of sets is not).
     """
-    if coverage_backend() == "sets":
+    backend = coverage_backend()
+    if backend == "sets":
         return _memo(
             view,
             ("components", v, "sets"),
             lambda: _components_compute_sets(view, v),
+        )
+    if backend == "numpy":
+        return _memo(
+            view,
+            ("components", v, "numpy"),
+            lambda: _np_kernel().components_compute(view, _np_base(view), v),
         )
     return _memo(
         view,
@@ -353,12 +408,16 @@ def uncovered_pairs(view: View, v: int) -> List[Tuple[int, int]]:
     """
     if v not in view.graph:
         raise KeyError(f"node {v} not visible in the view")
-    if coverage_backend() == "sets":
+    backend = coverage_backend()
+    if backend == "sets":
         return _memo(
             view,
             ("uncovered", v, "sets"),
             lambda: _uncovered_pairs_compute_sets(view, v),
         )
+    if backend == "numpy":
+        # The sweep result is itself the memo; per-node reads are free.
+        return _np_sweep(view)[v][0]
     return _memo(
         view,
         ("uncovered", v, "bitset"),
@@ -443,7 +502,8 @@ def strong_coverage_condition(view: View, v: int) -> bool:
         raise KeyError(f"node {v} not visible in the view")
     if _COUNTER_STACK:
         _COUNTER_STACK[-1].coverage_evaluations += 1
-    if coverage_backend() == "sets":
+    backend = coverage_backend()
+    if backend == "sets":
         neighbors = view.graph.neighbors(v)
         if not neighbors:
             return True
@@ -451,9 +511,11 @@ def strong_coverage_condition(view: View, v: int) -> bool:
             if _dominates(view, component, neighbors):
                 return True
         return False
+    if backend == "numpy":
+        return _np_sweep(view)[v][1]
     return _memo(
         view,
-        ("strong", v),
+        ("strong", v, "bitset"),
         lambda: _strong_coverage_compute_bitset(view, v),
     )
 
@@ -534,6 +596,26 @@ def _span_compute(
                     ("span-pair", v, u, w, max_intermediates, "sets"),
                     lambda u=u, w=w: _bounded_replacement_path_sets(
                         view, u, w, eligible, max_intermediates
+                    ),
+                ):
+                    return False
+        return True
+    if backend == "numpy":
+        kernel = _np_kernel()
+        np_base = _np_base(view)
+        eligible = _memo(
+            view,
+            ("span-eligible", v, "numpy"),
+            lambda: kernel.span_eligible(view, np_base, v),
+        )
+        neighbors = sorted(view.graph.neighbors(v))
+        for i, u in enumerate(neighbors):
+            for w in neighbors[i + 1:]:
+                if not _memo(
+                    view,
+                    ("span-pair", v, u, w, max_intermediates, "numpy"),
+                    lambda u=u, w=w: kernel.bounded_replacement_path(
+                        np_base, u, w, eligible, max_intermediates
                     ),
                 ):
                     return False

@@ -1,0 +1,307 @@
+"""Batched numpy word-table backend for the coverage predicates.
+
+The bitset backend answers each ``(view, v)`` query on its own: a fresh
+higher-priority flood fill per node over Python big-ints.  At scale that
+per-node cost dominates a broadcast — every node of an ``n``-node global
+view pays O(n·m/64) for its own component decomposition.
+
+This backend flips the loop structure.  One **decreasing-priority sweep**
+(:func:`sweep_compute`) visits nodes from highest to lowest priority,
+growing a union-find over the inserted prefix: at the moment ``v`` is
+reached, the inserted nodes are *exactly* the nodes ranking strictly above
+``Pr(v)`` (priority keys are a total order — the id tiebreak makes them
+unique), so the union-find state *is* ``v``'s higher-priority component
+decomposition.  Every node's uncovered pairs and strong-coverage verdict
+come out of this single O((n + m)·α) pass instead of n independent
+decompositions:
+
+* a neighbor ``u`` *reaches* the components whose roots appear in its
+  inserted closed neighborhood — so the pair ``(u, w)`` has a replacement
+  path iff their root sets intersect (or the direct edge / the
+  visited-pair convention applies);
+* a component dominates ``N(v)`` iff its root is in every neighbor's root
+  set — so the strong condition is "the intersection of the neighbors'
+  root sets is non-empty" (vacuously true with no neighbors).
+
+When ``view.visited_connected`` holds, visited nodes are fused through a
+hub as they are inserted, mirroring the component fusion of the other
+backends.
+
+The word table (:meth:`~repro.graph.topology.Topology.word_table` —
+the NodeIndex bit layout packed into a dense ``(n, ceil(n/64))`` uint64
+array) drives the remaining per-node queries: component materialisation
+for :func:`components_compute` and the bounded span BFS run whole-frontier
+adjacency unions as vectorised row reductions instead of per-node bigint
+loops.
+
+Both entry points produce results identical to the ``bitset`` and ``sets``
+backends — same verdicts, same pair lists in the same order, same
+component sets — so forward sets stay byte-identical across all three.
+
+This module is imported lazily by :mod:`repro.core.coverage` and only
+when ``REPRO_COVERAGE_BACKEND=numpy``; it degrades to ``np = None`` when
+numpy is absent (the dispatcher raises a clear error before calling in).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from ..graph.wordtable import (
+    bool_to_positions,
+    or_rows,
+    words_to_bool,
+)
+
+try:  # pragma: no cover - exercised via both CI variants
+    import numpy as np
+except ImportError:  # pragma: no cover - the no-numpy CI job
+    np = None  # type: ignore[assignment]
+
+from ..instrument import _STACK as _COUNTER_STACK
+from . import status as st
+from .views import View
+
+__all__ = ["np_base", "sweep_compute", "components_compute",
+           "span_eligible", "bounded_replacement_path"]
+
+
+class _NumpyBase:
+    """Per-view word-table context shared by every numpy predicate.
+
+    ``index``/``words`` come from the view graph's epoch-cached word
+    table; ``keys`` holds each node's full priority key in bit-position
+    order (the same keys the bitset backend ranks by); ``rank`` maps bit
+    position → ascending priority rank, so "strictly higher priority
+    than ``v``" is the vectorised comparison ``rank > rank[pos(v)]``.
+    """
+
+    __slots__ = (
+        "index", "words", "n", "keys", "order_desc", "rank",
+        "adj_positions", "visited",
+    )
+
+    def __init__(self, view: View) -> None:
+        index, words = view.graph.word_table()
+        self.index = index
+        self.words = words
+        n = len(index)
+        self.n = n
+        status = view.status
+        metrics = view.metrics
+        padding = view.metric_padding
+        unvisited = st.UNVISITED
+        self.keys = [
+            (status.get(node, unvisited), *metrics.get(node, padding),
+             float(node))
+            for node in index.nodes
+        ]
+        order = sorted(range(n), key=self.keys.__getitem__)
+        self.order_desc = order[::-1]
+        rank = np.empty(n, dtype=np.int64)
+        rank[order] = np.arange(n, dtype=np.int64)
+        self.rank = rank
+        position = index.position
+        graph = view.graph
+        self.adj_positions = [
+            [position(u) for u in sorted(graph.neighbors(node))]
+            for node in index.nodes
+        ]
+        self.visited = np.fromiter(
+            (view.is_visited(node) for node in index.nodes),
+            dtype=bool,
+            count=n,
+        )
+
+    def eligible_bool(self, view: View, v: int):
+        """Membership array of nodes ranking strictly above ``Pr(v)``.
+
+        One vectorised rank comparison for a visible ``v``; a linear key
+        scan against the invisible-rank key otherwise (mirroring the
+        bitset backend's fallback).
+        """
+        if v in self.index:
+            return self.rank > self.rank[self.index.position(v)]
+        threshold = view.priority(v)
+        return np.fromiter(
+            (key > threshold for key in self.keys),
+            dtype=bool,
+            count=self.n,
+        )
+
+
+def np_base(view: View) -> _NumpyBase:
+    """The (memoised-by-caller) word-table context for ``view``."""
+    return _NumpyBase(view)
+
+
+def _find(parents: List[int], x: int) -> int:
+    """Union-find root with path halving."""
+    while parents[x] != x:
+        parents[x] = parents[parents[x]]
+        x = parents[x]
+    return x
+
+
+def sweep_compute(
+    view: View, base: _NumpyBase
+) -> Dict[int, Tuple[List[Tuple[int, int]], bool]]:
+    """Uncovered pairs and strong verdicts for every visible node.
+
+    One decreasing-priority insertion sweep (see the module docstring):
+    the union-find over the inserted prefix is each node's higher-priority
+    component decomposition at the moment the node is processed.
+    """
+    if _COUNTER_STACK:
+        _COUNTER_STACK[-1].component_decompositions += 1
+    index = base.index
+    nodes = index.nodes
+    position = index.position
+    adj = base.adj_positions
+    visited = base.visited
+    visited_connected = view.visited_connected
+    graph = view.graph
+    has_edge = graph.has_edge
+    parents = list(range(base.n))
+    inserted = bytearray(base.n)
+    hub = -1
+    results: Dict[int, Tuple[List[Tuple[int, int]], bool]] = {}
+    for pos in base.order_desc:
+        v = nodes[pos]
+        neighbors = sorted(graph.neighbors(v))
+        # Root set of each neighbor's inserted closed neighborhood: the
+        # components of the higher-priority subgraph it belongs to or
+        # touches.
+        reach: List[Set[int]] = []
+        for u in neighbors:
+            u_pos = position(u)
+            roots: Set[int] = set()
+            if inserted[u_pos]:
+                roots.add(_find(parents, u_pos))
+            for x_pos in adj[u_pos]:
+                if inserted[x_pos]:
+                    roots.add(_find(parents, x_pos))
+            reach.append(roots)
+        failing: List[Tuple[int, int]] = []
+        count = len(neighbors)
+        for i in range(count):
+            u = neighbors[i]
+            reach_u = reach[i]
+            u_visited = visited_connected and visited[position(u)]
+            for j in range(i + 1, count):
+                w = neighbors[j]
+                if has_edge(u, w):
+                    continue
+                if reach_u & reach[j]:
+                    continue
+                if u_visited and visited[position(w)]:
+                    # Visited endpoints are mutually connected by
+                    # convention.
+                    continue
+                failing.append((u, w))
+        if count:
+            # A component dominates N(v) iff its root reaches every
+            # neighbor.
+            common = set(reach[0])
+            for roots in reach[1:]:
+                common &= roots
+                if not common:
+                    break
+            strong = bool(common)
+        else:
+            strong = True
+        results[v] = (failing, strong)
+        inserted[pos] = 1
+        for x_pos in adj[pos]:
+            if inserted[x_pos]:
+                root_a = _find(parents, pos)
+                root_b = _find(parents, x_pos)
+                if root_a != root_b:
+                    parents[root_a] = root_b
+        if visited_connected and visited[pos]:
+            # All visited nodes are connected through the source even
+            # when the view cannot see how: fuse through a hub.
+            if hub < 0:
+                hub = pos
+            else:
+                root_a = _find(parents, hub)
+                root_b = _find(parents, pos)
+                if root_a != root_b:
+                    parents[root_a] = root_b
+    return results
+
+
+def components_compute(
+    view: View, base: _NumpyBase, v: int
+) -> List[Set[int]]:
+    """Higher-priority components of ``v`` via word-table flood fills."""
+    if _COUNTER_STACK:
+        _COUNTER_STACK[-1].component_decompositions += 1
+    eligible = base.eligible_bool(view, v)
+    words = base.words
+    n = base.n
+    nodes = base.index.nodes
+    remaining = eligible.copy()
+    components: List[Set[int]] = []
+    while remaining.any():
+        seed = int(np.argmax(remaining))
+        member = np.zeros(n, dtype=bool)
+        member[seed] = True
+        frontier = [seed]
+        while frontier:
+            if _COUNTER_STACK:
+                _COUNTER_STACK[-1].mask_floodfills += 1
+            grow = words_to_bool(or_rows(words, frontier), n)
+            grow &= eligible
+            grow &= ~member
+            frontier = bool_to_positions(grow)
+            member |= grow
+        remaining &= ~member
+        components.append({nodes[p] for p in bool_to_positions(member)})
+    if view.visited_connected:
+        fused = eligible & base.visited
+        if fused.any():
+            visited_nodes = {nodes[p] for p in bool_to_positions(fused)}
+            merged: Set[int] = set()
+            separate: List[Set[int]] = []
+            for component in components:
+                if component & visited_nodes:
+                    merged |= component
+                else:
+                    separate.append(component)
+            if merged:
+                components = [merged] + separate
+    return components
+
+
+def span_eligible(view: View, base: _NumpyBase, v: int):
+    """Eligible span intermediates: higher-priority and un-visited."""
+    return base.eligible_bool(view, v) & ~base.visited
+
+
+def bounded_replacement_path(
+    base: _NumpyBase, u: int, w: int, eligible, max_intermediates: int
+) -> bool:
+    """Word-table frontier BFS through ``eligible`` with bounded length."""
+    words = base.words
+    n = base.n
+    position = base.index.position
+    u_pos = position(u)
+    w_pos = position(w)
+    adjacency_u = words_to_bool(words[u_pos], n)
+    if adjacency_u[w_pos]:
+        return True
+    adjacency_w = words_to_bool(words[w_pos], n)
+    seen = np.zeros(n, dtype=bool)
+    frontier = adjacency_u & eligible
+    for _used in range(1, max_intermediates + 1):
+        if not frontier.any():
+            return False
+        if (frontier & adjacency_w).any():
+            return True
+        seen |= frontier
+        grow = words_to_bool(
+            or_rows(words, bool_to_positions(frontier)), n
+        )
+        frontier = grow & eligible & ~seen
+    return False

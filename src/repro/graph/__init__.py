@@ -1,5 +1,6 @@
 """Graph and geometry substrates: unit-disk networks, CDS tools, mobility."""
 
+from .cellgrid import CellGrid, grid_is_exact
 from .geometry import Area, Point, distance, grid_points, random_points
 from .nodeindex import NodeIndex, flood_fill, popcount
 from .topology import DeltaReport, Topology
@@ -9,11 +10,13 @@ from .unit_disk import (
     edge_flips,
     range_for_average_degree,
     range_for_link_count,
+    udg_builder,
 )
 from .generators import (
     GenerationError,
     grid_network,
     random_connected_network,
+    random_grid_network,
     random_network,
 )
 from .bidirectional import (
@@ -33,6 +36,8 @@ from .mobility import RandomWaypointModel, SnapshotDelta
 
 __all__ = [
     "Area",
+    "CellGrid",
+    "grid_is_exact",
     "Point",
     "distance",
     "grid_points",
@@ -47,9 +52,11 @@ __all__ = [
     "edge_flips",
     "range_for_average_degree",
     "range_for_link_count",
+    "udg_builder",
     "GenerationError",
     "grid_network",
     "random_connected_network",
+    "random_grid_network",
     "random_network",
     "DirectedLinks",
     "bidirectional_abstraction",

@@ -25,6 +25,7 @@ __all__ = [
     "random_network",
     "random_connected_network",
     "grid_network",
+    "random_grid_network",
 ]
 
 #: How many disconnected deployments to tolerate before giving up.  Sparse
@@ -87,4 +88,39 @@ def grid_network(rows: int, cols: int, radius: float = 1.5) -> UnitDiskGraph:
     neighbors — a connected, moderately dense fixture.
     """
     positions = grid_points(rows, cols)
+    return build_unit_disk_graph(positions, radius)
+
+
+def random_grid_network(
+    side: int,
+    occupancy: float,
+    rng: random.Random,
+    radius: float = 1.5,
+) -> UnitDiskGraph:
+    """A random-grid deployment (Calamoneri & Clementi's model).
+
+    Each point of a ``side × side`` unit-spacing lattice holds a node
+    independently with probability ``occupancy``; the lattice is scanned
+    row-major and occupied points get sequential ids, so the layout is
+    fully determined by the ``rng`` stream.  The natural large-``n``
+    fixture: node count concentrates around ``occupancy · side²`` with
+    bounded local density, so unit-disk construction through the cell
+    grid stays O(n) however large the side grows.
+
+    The default radius 1.5 links the (occupied) horizontal, vertical, and
+    diagonal lattice neighbors, matching :func:`grid_network`.
+    """
+    if side < 1:
+        raise ValueError(f"side must be positive, got {side}")
+    if not 0.0 <= occupancy <= 1.0:
+        raise ValueError(
+            f"occupancy must be a probability, got {occupancy}"
+        )
+    lattice = grid_points(side, side)
+    positions = {}
+    node = 0
+    for point in lattice.values():
+        if rng.random() < occupancy:
+            positions[node] = point
+            node += 1
     return build_unit_disk_graph(positions, radius)

@@ -6,15 +6,42 @@ connected when their geographical distance is within the transmission range
 transmitter range is adjusted according to a given average node degree d to
 produce exactly nd/2 links in the corresponding unit disk graph."  Both
 operations live here.
+
+Builders
+--------
+Two interchangeable construction methods compute every operation:
+
+* ``grid`` (the default) — neighbor candidates come from a spatial-hash
+  cell grid (:mod:`repro.graph.cellgrid`, cell size = radius), so
+  construction, :func:`edge_flips`, and range calibration cost
+  O(n · local density) instead of O(n²) time (and calibration O(n) instead
+  of O(n²) memory).  Whenever :func:`~repro.graph.cellgrid.grid_is_exact`
+  cannot certify the geometry (non-finite or astronomical coordinates) the
+  grid transparently falls back to the pairwise scan.
+* ``pairwise`` — the original all-pairs scan, kept as the executable
+  reference.
+
+Select with ``REPRO_UDG_BUILDER=pairwise`` (or ``grid``), or pass
+``method=`` explicitly.  Both methods apply the identical
+``distance² <= radius²`` float comparison to decide each link, so
+topologies, flip lists, and calibrated radii are byte-identical — the test
+suite cross-checks this on randomized and degenerate layouts.
 """
 
 from __future__ import annotations
 
 import math
+import os
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
+from .cellgrid import (
+    count_pairs_within,
+    distances_within,
+    grid_is_exact,
+    grid_pairs_within,
+)
 from .geometry import Point
 from .topology import Topology
 
@@ -24,7 +51,46 @@ __all__ = [
     "edge_flips",
     "range_for_link_count",
     "range_for_average_degree",
+    "udg_builder",
 ]
+
+_UDG_METHODS = ("grid", "pairwise")
+
+
+def udg_builder() -> str:
+    """The active construction method, from ``REPRO_UDG_BUILDER``.
+
+    ``grid`` (default) or ``pairwise``.  Read per call so tests and A/B
+    benchmarks can flip the environment variable between evaluations; the
+    two methods produce byte-identical topologies, flip lists, and radii,
+    so flipping mid-run is safe.
+    """
+    method = os.environ.get("REPRO_UDG_BUILDER", "grid")
+    if method not in _UDG_METHODS:
+        raise ValueError(
+            f"REPRO_UDG_BUILDER must be one of {_UDG_METHODS}, "
+            f"got {method!r}"
+        )
+    return method
+
+
+def _resolve_method(method: Optional[str]) -> str:
+    if method is None:
+        return udg_builder()
+    if method not in _UDG_METHODS:
+        raise ValueError(
+            f"method must be one of {_UDG_METHODS}, got {method!r}"
+        )
+    return method
+
+
+def _use_grid(
+    method: Optional[str], positions: Dict[int, Point], radius: float
+) -> bool:
+    """Whether to take the grid path (resolving env + exactness fallback)."""
+    return _resolve_method(method) == "grid" and grid_is_exact(
+        positions, radius
+    )
 
 
 @dataclass
@@ -61,22 +127,33 @@ class UnitDiskGraph:
         """Mean node degree of the induced topology."""
         return self.topology.average_degree()
 
-    def with_radius(self, radius: float) -> "UnitDiskGraph":
+    def with_radius(
+        self, radius: float, method: Optional[str] = None
+    ) -> "UnitDiskGraph":
         """Rebuild the graph with a different transmission range."""
-        return build_unit_disk_graph(self.positions, radius)
+        return build_unit_disk_graph(self.positions, radius, method=method)
 
 
 def build_unit_disk_graph(
-    positions: Dict[int, Point], radius: float
+    positions: Dict[int, Point], radius: float, method: Optional[str] = None
 ) -> UnitDiskGraph:
     """Connect every pair of nodes within ``radius`` of each other.
 
-    The check is done on squared distances so no square roots are taken in
-    the O(n^2) pair loop.
+    The check is done on squared distances so no square roots are taken.
+    Under the default ``grid`` method candidates come from the 9-cell
+    neighborhood of a spatial hash; ``pairwise`` scans all O(n²) pairs.
+    Node order, edge set, and every link decision are identical either
+    way.
     """
     if radius < 0:
         raise ValueError(f"radius must be non-negative, got {radius}")
     topology = Topology(nodes=positions)
+    if _use_grid(method, positions, radius):
+        for u, v in grid_pairs_within(positions, radius):
+            topology.add_edge(u, v)
+        return UnitDiskGraph(
+            topology=topology, positions=positions, radius=radius
+        )
     nodes = list(positions)
     radius_sq = radius * radius
     for i, u in enumerate(nodes):
@@ -91,15 +168,18 @@ def edge_flips(
     positions: Dict[int, Point],
     radius: float,
     topology: Topology,
+    method: Optional[str] = None,
 ) -> Tuple[List[Tuple[int, int]], List[Tuple[int, int]]]:
     """``(added, removed)``: links that flip between ``topology`` and the
     unit-disk graph induced by ``positions``/``radius``.
 
     The diff that drives :meth:`Topology.apply_delta` across mobility
-    steps: one O(n^2) squared-distance scan (the same cost as the pair
-    loop in :func:`build_unit_disk_graph`, but with no graph
-    construction or cache loss when nothing flips).  Both lists hold
-    ``(min, max)`` pairs in sorted order.  The node sets must match —
+    steps.  Under the ``grid`` method, additions come from a cell-grid
+    scan of within-radius pairs and removals from re-checking only the
+    edges ``topology`` already has — O(n · local density + m) instead of
+    the O(n²) pairwise scan.  Both lists hold ``(min, max)`` pairs in
+    sorted order (the ordering :meth:`Topology.apply_delta` replays), and
+    both methods produce identical lists.  The node sets must match —
     mobility moves nodes, it does not add or remove them.
     """
     if radius < 0:
@@ -108,8 +188,18 @@ def edge_flips(
         raise ValueError("positions and topology disagree on the node set")
     added: List[Tuple[int, int]] = []
     removed: List[Tuple[int, int]] = []
-    nodes = list(positions)
     radius_sq = radius * radius
+    if _use_grid(method, positions, radius):
+        for u, v in grid_pairs_within(positions, radius):
+            if not topology.has_edge(u, v):
+                added.append((u, v) if u < v else (v, u))
+        for u, v in topology.edges():
+            if positions[u].distance_squared_to(positions[v]) > radius_sq:
+                removed.append((u, v))
+        added.sort()
+        removed.sort()
+        return added, removed
+    nodes = list(positions)
     for i, u in enumerate(nodes):
         pu = positions[u]
         for v in nodes[i + 1:]:
@@ -123,7 +213,7 @@ def edge_flips(
 
 
 def _sorted_pair_distances_squared(positions: Dict[int, Point]) -> List[float]:
-    """All pairwise squared distances, ascending."""
+    """All pairwise squared distances, ascending (pairwise reference)."""
     nodes = list(positions)
     distances = [
         positions[u].distance_squared_to(positions[v])
@@ -134,8 +224,69 @@ def _sorted_pair_distances_squared(positions: Dict[int, Point]) -> List[float]:
     return distances
 
 
-def range_for_link_count(
+def _diameter_bound(positions: Dict[int, Point]) -> float:
+    """An upper bound on the largest pairwise distance (0 if degenerate)."""
+    xs = [p.x for p in positions.values()]
+    ys = [p.y for p in positions.values()]
+    dx = max(xs) - min(xs)
+    dy = max(ys) - min(ys)
+    # The factor 2 absorbs every rounding in sqrt and in re-squaring the
+    # radius during counting: pairs at the true diameter must count.
+    return 2.0 * math.sqrt(dx * dx + dy * dy)
+
+
+def _grid_threshold_distances(
     positions: Dict[int, Point], links: int
+) -> Tuple[float, Optional[float]]:
+    """``(threshold, next_larger)`` squared distances via the cell grid.
+
+    ``threshold`` is the ``links``-th smallest pairwise squared distance
+    and ``next_larger`` the smallest strictly greater one (None when the
+    threshold is the maximum) — the two quantities range calibration
+    needs, found by doubling the search radius until enough pairs fall
+    inside and materialising only those O(links) candidates instead of
+    all n(n-1)/2 distances.
+    """
+    diameter = _diameter_bound(positions)
+    if diameter == 0.0:
+        # Every position coincides: all pair distances are exactly 0.
+        return 0.0, None
+    n = len(positions)
+    max_links = n * (n - 1) // 2
+    # Density-scaled first guess: for uniform deployments the number of
+    # pairs within r grows like r², so this lands near the target count.
+    radius = diameter * math.sqrt(links / max_links)
+    radius = max(radius, diameter / 4294967296.0)
+    while count_pairs_within(positions, radius) < links:
+        radius = min(radius * 2.0, diameter)
+    distances = sorted(distances_within(positions, radius))
+    threshold = distances[links - 1]
+    while True:
+        for d in distances[links:]:
+            if d > threshold:
+                # Everything outside the search radius is farther still,
+                # so the first in-radius exceedance is the global next.
+                return threshold, d
+        if radius >= diameter:
+            return threshold, None
+        radius = min(radius * 2.0, diameter)
+        distances = sorted(distances_within(positions, radius))
+
+
+def _grid_min_distance(positions: Dict[int, Point]) -> float:
+    """The smallest pairwise squared distance, via the cell grid."""
+    diameter = _diameter_bound(positions)
+    if diameter == 0.0:
+        return 0.0
+    radius = diameter / len(positions)
+    while count_pairs_within(positions, radius) == 0:
+        radius = min(radius * 2.0, diameter)
+    # Any pair beyond the search radius is farther than everything found.
+    return min(distances_within(positions, radius))
+
+
+def range_for_link_count(
+    positions: Dict[int, Point], links: int, method: Optional[str] = None
 ) -> float:
     """The smallest transmission range producing at least ``links`` links.
 
@@ -146,7 +297,14 @@ def range_for_link_count(
     placement) the range therefore produces *exactly* ``links`` links;
     tied distances at the threshold are all included ("at least"
     semantics).  With ``links == 0`` a range smaller than the closest pair
-    is returned, so the graph is empty.
+    is returned, so the graph is empty; if two nodes share a position no
+    such range exists (any radius, including 0, links the coincident
+    pair) and a :class:`ValueError` is raised.
+
+    Under the default ``grid`` method the threshold is located by a
+    doubling radius search over a grid-based link counter — O(n + links)
+    memory instead of materialising all n(n-1)/2 distances — and the
+    result is byte-identical to the ``pairwise`` reference.
     """
     n = len(positions)
     max_links = n * (n - 1) // 2
@@ -154,20 +312,48 @@ def range_for_link_count(
         raise ValueError(
             f"cannot realise {links} links with {n} nodes (max {max_links})"
         )
-    distances_sq = _sorted_pair_distances_squared(positions)
+    if max_links == 0:
+        return 0.0
+    # The grid search probes radii up to the deployment diameter, so
+    # exactness must hold at that scale, not just at the final radius.
+    use_grid = _resolve_method(method) == "grid" and grid_is_exact(
+        positions, _diameter_bound(positions)
+    )
     if links == 0:
-        return math.sqrt(distances_sq[0]) / 2.0 if distances_sq else 0.0
-    threshold_sq = distances_sq[links - 1]
-    larger = [d for d in distances_sq[links:] if d > threshold_sq]
-    if larger:
-        radius_sq = (threshold_sq + larger[0]) / 2.0
+        if use_grid:
+            closest_sq = _grid_min_distance(positions)
+        else:
+            nodes = list(positions)
+            closest_sq = min(
+                positions[u].distance_squared_to(positions[v])
+                for i, u in enumerate(nodes)
+                for v in nodes[i + 1:]
+            )
+        if closest_sq == 0.0:
+            raise ValueError(
+                "cannot realise 0 links: two nodes share a position "
+                "(every radius, including 0, links the coincident pair)"
+            )
+        return math.sqrt(closest_sq) / 2.0
+    if use_grid:
+        threshold_sq, larger = _grid_threshold_distances(positions, links)
+    else:
+        distances_sq = _sorted_pair_distances_squared(positions)
+        threshold_sq = distances_sq[links - 1]
+        larger = next(
+            (d for d in distances_sq[links:] if d > threshold_sq), None
+        )
+    if larger is not None:
+        radius_sq = (threshold_sq + larger) / 2.0
     else:
         radius_sq = threshold_sq * 1.0000001 + 1e-12
     return math.sqrt(radius_sq)
 
 
 def range_for_average_degree(
-    positions: Dict[int, Point], average_degree: float
+    positions: Dict[int, Point],
+    average_degree: float,
+    method: Optional[str] = None,
 ) -> Tuple[float, int]:
     """Calibrate the range for a target average degree (paper's recipe).
 
@@ -181,4 +367,4 @@ def range_for_average_degree(
     n = len(positions)
     links = round(n * average_degree / 2.0)
     links = min(links, n * (n - 1) // 2)
-    return range_for_link_count(positions, links), links
+    return range_for_link_count(positions, links, method=method), links

@@ -1,0 +1,104 @@
+"""uint64 word-table packing for the numpy mask kernels.
+
+The bitset kernel stores node subsets as Python big-ints under a
+:class:`~repro.graph.nodeindex.NodeIndex` bit layout.  The numpy backend
+keeps the *same* layout but materialises the adjacency table as a dense
+``(n, ceil(n/64))`` ``uint64`` array: bit ``p`` of the mask lands in word
+``p // 64``, bit ``p % 64`` — exactly the little-endian byte string
+``mask.to_bytes(..., "little")`` reinterpreted as words.  Because the bit
+positions agree, a mask round-trips bigint → words → bigint losslessly,
+masks from either representation describe the same node sets, and the two
+kernels stay byte-identical by construction.
+
+numpy is an *optional* dependency: this module imports with ``np = None``
+when it is absent, and every helper raises a clear ``RuntimeError`` on
+use.  Callers gate on :data:`HAVE_NUMPY` (the bitset and sets backends
+never touch this module).
+
+The word layout assumes a little-endian host (as does numpy's
+``bitorder="little"`` unpacking) — true of every supported platform.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+try:  # pragma: no cover - exercised via both CI variants
+    import numpy as np
+except ImportError:  # pragma: no cover - the no-numpy CI job
+    np = None  # type: ignore[assignment]
+
+__all__ = [
+    "HAVE_NUMPY",
+    "require_numpy",
+    "word_count",
+    "pack_masks",
+    "unpack_mask",
+    "words_to_bool",
+    "bool_to_positions",
+    "or_rows",
+]
+
+HAVE_NUMPY = np is not None
+
+
+def require_numpy() -> None:
+    """Raise a clear error when numpy is unavailable."""
+    if np is None:
+        raise RuntimeError(
+            "this operation requires numpy, which is not installed in this "
+            "environment; use the 'bitset' or 'sets' coverage backend"
+        )
+
+
+def word_count(n: int) -> int:
+    """Words needed for an ``n``-bit mask."""
+    return (n + 63) // 64
+
+
+def pack_masks(masks: Sequence[int], n: int):
+    """Pack bigint masks over an ``n``-node universe into a word table.
+
+    Returns a read-only ``(len(masks), word_count(n))`` uint64 array whose
+    row ``i`` holds ``masks[i]`` in the NodeIndex bit layout.  Copy before
+    mutating (``Topology.apply_delta`` row patching does).
+    """
+    require_numpy()
+    words = word_count(n)
+    if not masks:
+        return np.zeros((0, words), dtype=np.uint64)
+    size = words * 8
+    buf = b"".join(mask.to_bytes(size, "little") for mask in masks)
+    return np.frombuffer(buf, dtype=np.uint64).reshape(len(masks), words)
+
+
+def unpack_mask(row) -> int:
+    """The bigint mask a word-table row encodes (inverse of packing)."""
+    require_numpy()
+    return int.from_bytes(np.ascontiguousarray(row).tobytes(), "little")
+
+
+def words_to_bool(words, n: int):
+    """A length-``n`` boolean membership array for a word vector."""
+    require_numpy()
+    return np.unpackbits(
+        np.ascontiguousarray(words).view(np.uint8),
+        bitorder="little",
+        count=n,
+    ).astype(bool)
+
+
+def bool_to_positions(flags) -> List[int]:
+    """Set positions of a boolean membership array, ascending."""
+    require_numpy()
+    return [int(p) for p in np.nonzero(flags)[0]]
+
+
+def or_rows(table, positions: Iterable[int]):
+    """OR-reduce the given rows of a word table into one word vector.
+
+    ``positions`` must be non-empty; the word-vector result is the union
+    mask of the selected rows.
+    """
+    require_numpy()
+    return np.bitwise_or.reduce(table[list(positions)], axis=0)

@@ -1,0 +1,235 @@
+"""Numpy word-table backend: equivalence with bitset/sets, and fallback.
+
+Mirrors ``test_bitset_backend.py``'s 50-seed property suites with the
+third backend in the matrix, adds forward-set byte-identity checks on the
+Figure-1 and random-grid fixtures, exercises the word-table round trip
+(including ``apply_delta`` row patching), and proves the clean error path
+when numpy is unavailable.
+
+Everything below ``pytest.importorskip`` needs numpy; the fallback test
+monkeypatches the kernel's ``np`` handle instead of uninstalling it.
+"""
+
+import random
+
+import pytest
+
+from repro.core import coverage as coverage_module
+from repro.core.coverage import (
+    coverage_backend,
+    coverage_condition,
+    higher_priority_components,
+    span_condition,
+    strong_coverage_condition,
+    uncovered_pairs,
+)
+from repro.core.priority import DegreePriority, IdPriority, NcrPriority
+from repro.core.views import global_view, local_view
+from repro.graph.generators import random_grid_network
+from repro.graph.paperfigs import figure1
+from repro.graph.topology import Topology
+
+np = pytest.importorskip("numpy")
+
+from repro.graph.wordtable import (  # noqa: E402 - needs numpy
+    pack_masks,
+    unpack_mask,
+    word_count,
+    words_to_bool,
+)
+
+SEEDS = range(50)
+BACKENDS = ("bitset", "sets", "numpy")
+
+
+def _random_graph(seed: int) -> Topology:
+    rng = random.Random(seed)
+    n = rng.randint(6, 22)
+    graph = Topology(nodes=range(n))
+    order = list(range(n))
+    rng.shuffle(order)
+    for i in range(1, n):
+        graph.add_edge(order[i], rng.choice(order[:i]))
+    for _ in range(rng.randint(0, 2 * n)):
+        u, v = rng.sample(range(n), 2)
+        graph.add_edge(u, v)
+    return graph
+
+
+def _random_view(graph, rng):
+    scheme = rng.choice([IdPriority(), DegreePriority(), NcrPriority()])
+    nodes = graph.nodes()
+    visited = set(rng.sample(nodes, rng.randint(0, len(nodes) // 2)))
+    designated = set(
+        rng.sample(nodes, rng.randint(0, len(nodes) // 3))
+    ) - visited
+    if rng.random() < 0.5:
+        return global_view(graph, scheme, visited, designated)
+    return local_view(
+        graph, rng.choice(nodes), rng.choice([1, 2, 3]), scheme,
+        visited, designated,
+    )
+
+
+def _with_backend(monkeypatch, backend, fn):
+    monkeypatch.setenv("REPRO_COVERAGE_BACKEND", backend)
+    assert coverage_backend() == backend
+    return fn()
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_predicates_agree_across_all_backends(seed, monkeypatch):
+    graph = _random_graph(seed)
+    rng = random.Random(seed + 2000)
+    view = _random_view(graph, rng)
+
+    def verdicts():
+        out = {}
+        for v in view.graph.nodes():
+            out[v] = (
+                uncovered_pairs(view, v),
+                coverage_condition(view, v),
+                strong_coverage_condition(view, v),
+                span_condition(view, v),
+                span_condition(view, v, max_intermediates=1),
+            )
+        return out
+
+    results = {
+        backend: _with_backend(monkeypatch, backend, verdicts)
+        for backend in BACKENDS
+    }
+    assert results["numpy"] == results["bitset"] == results["sets"]
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_components_agree_across_all_backends(seed, monkeypatch):
+    graph = _random_graph(seed)
+    rng = random.Random(seed + 3000)
+    view = _random_view(graph, rng)
+
+    def components():
+        return {
+            v: frozenset(
+                frozenset(c) for c in higher_priority_components(view, v)
+            )
+            for v in view.graph.nodes()
+        }
+
+    results = {
+        backend: _with_backend(monkeypatch, backend, components)
+        for backend in BACKENDS
+    }
+    assert results["numpy"] == results["bitset"] == results["sets"]
+
+
+def test_invisible_node_still_ranked(monkeypatch):
+    """All backends handle v outside the view graph (invisible rank)."""
+    graph = Topology(edges=[(1, 2), (2, 3), (3, 4), (4, 1)])
+    view = local_view(graph, 1, 1, IdPriority())
+    assert 3 not in view.graph
+
+    def components():
+        return frozenset(
+            frozenset(c) for c in higher_priority_components(view, 3)
+        )
+
+    results = {
+        backend: _with_backend(monkeypatch, backend, components)
+        for backend in BACKENDS
+    }
+    assert results["numpy"] == results["bitset"] == results["sets"]
+
+
+def _forward_sets(topology, source, monkeypatch):
+    from repro.algorithms.generic import GenericStatic
+    from repro.sim.engine import SimulationEnvironment
+
+    out = {}
+    for backend in BACKENDS:
+        monkeypatch.setenv("REPRO_COVERAGE_BACKEND", backend)
+        env = SimulationEnvironment(topology, IdPriority())
+        protocols = {}
+        for strong in (False, True):
+            protocol = GenericStatic(hops=None, strong=strong)
+            protocol.prepare(env)
+            protocols[strong] = protocol.forward_set
+        out[backend] = protocols
+    return out
+
+
+def test_forward_sets_identical_on_figure1(monkeypatch):
+    network = figure1()
+    results = _forward_sets(network.topology, 1, monkeypatch)
+    assert results["numpy"] == results["bitset"] == results["sets"]
+
+
+def test_forward_sets_identical_on_random_grid(monkeypatch):
+    network = random_grid_network(12, 0.7, random.Random(5))
+    assert network.node_count > 50
+    results = _forward_sets(network.topology, 0, monkeypatch)
+    assert results["numpy"] == results["bitset"] == results["sets"]
+
+
+def test_word_table_round_trips_bigint_masks():
+    graph = _random_graph(17)
+    index, masks = graph.adjacency_masks()
+    windex, words = graph.word_table()
+    assert windex is index
+    assert words.shape == (len(index), word_count(len(index)))
+    assert words.dtype == np.uint64
+    for position, mask in enumerate(masks):
+        assert unpack_mask(words[position]) == mask
+        members = words_to_bool(words[position], len(index))
+        assert [index.nodes[p] for p in np.nonzero(members)[0]] == sorted(
+            index.members(mask)
+        )
+
+
+def test_word_table_is_row_patched_across_apply_delta():
+    graph = _random_graph(23)
+    index, words_before = graph.word_table()
+    drop = graph.edges()[0]
+    nodes = graph.nodes()
+    add = next(
+        (u, v)
+        for i, u in enumerate(nodes)
+        for v in nodes[i + 1:]
+        if not graph.has_edge(u, v)
+    )
+    report = graph.apply_delta(added_edges=[add], removed_edges=[drop])
+    assert report.fast_path
+    patched_index, words_after = graph.word_table()
+    assert patched_index is index  # coordinate system survives the delta
+    _index, masks = graph.adjacency_masks()
+    assert np.array_equal(words_after, pack_masks(masks, len(index)))
+    touched = {index.position(n) for n in set(drop) | set(add)}
+    for position in range(len(index)):
+        if position not in touched:
+            assert np.array_equal(
+                words_after[position], words_before[position]
+            )
+
+
+def test_numpy_backend_errors_cleanly_when_numpy_missing(monkeypatch):
+    from repro.core import coverage_numpy
+
+    monkeypatch.setattr(coverage_numpy, "np", None)
+    monkeypatch.setenv("REPRO_COVERAGE_BACKEND", "numpy")
+    graph = Topology(edges=[(1, 2), (2, 3)])
+    view = global_view(graph, IdPriority())
+    with pytest.raises(RuntimeError, match="requires numpy"):
+        coverage_condition(view, 2)
+    # The other backends keep working in the same process.
+    monkeypatch.setenv("REPRO_COVERAGE_BACKEND", "bitset")
+    assert coverage_condition(view, 2) in (True, False)
+
+
+def test_unknown_backend_still_rejected(monkeypatch):
+    monkeypatch.setenv("REPRO_COVERAGE_BACKEND", "cupy")
+    with pytest.raises(ValueError):
+        coverage_backend()
+
+
+def test_numpy_is_a_known_backend():
+    assert "numpy" in coverage_module._BACKENDS
