@@ -56,9 +56,27 @@ from .instrument import InstrumentationCounters, collecting
 from .sim.engine import (
     BroadcastOutcome,
     BroadcastSession,
+    MessageState,
+    MessageTable,
     SimulationEnvironment,
     run_broadcast,
     session_seed,
+)
+from .sim.service import (
+    MessageOutcome,
+    ServiceEngine,
+    ServiceOutcome,
+    service_seed,
+)
+from .sim.traffic import (
+    BurstyTraffic,
+    Message,
+    PoissonTraffic,
+    ScriptedTraffic,
+    SingleShot,
+    TrafficModel,
+    ZipfTraffic,
+    traffic_seed,
 )
 from .sim.events import (
     EventBus,
@@ -100,9 +118,23 @@ __all__ = [
     "build_unit_disk_graph",
     "BroadcastOutcome",
     "BroadcastSession",
+    "MessageState",
+    "MessageTable",
     "SimulationEnvironment",
     "run_broadcast",
     "session_seed",
+    "MessageOutcome",
+    "ServiceEngine",
+    "ServiceOutcome",
+    "service_seed",
+    "BurstyTraffic",
+    "Message",
+    "PoissonTraffic",
+    "ScriptedTraffic",
+    "SingleShot",
+    "TrafficModel",
+    "ZipfTraffic",
+    "traffic_seed",
     "InstrumentationCounters",
     "collecting",
     "EventBus",

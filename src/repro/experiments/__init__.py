@@ -28,6 +28,12 @@ from .runner import (
     run_panel,
 )
 from .parallel import PointFailure, run_figure_parallel, run_panel_parallel
+from .traffic import (
+    TrafficPointFailure,
+    TrafficSweepConfig,
+    run_traffic_sweep,
+    traffic_point_seed,
+)
 from .overhead import (
     MeasuredOverhead,
     OverheadPoint,
@@ -73,4 +79,8 @@ __all__ = [
     "PointFailure",
     "run_figure_parallel",
     "run_panel_parallel",
+    "TrafficPointFailure",
+    "TrafficSweepConfig",
+    "run_traffic_sweep",
+    "traffic_point_seed",
 ]

@@ -10,6 +10,7 @@ Examples::
     python -m repro.experiments fig11 --jobs 4
     python -m repro.experiments fig11 --quick --instrument
     python -m repro.experiments overhead
+    python -m repro.experiments traffic --rates 0.2 1.0 5.0 --jobs 4
 
 ``--quick`` shrinks the sweep and the repetition bounds so a figure runs
 in seconds; omit it for paper-precision runs (90% CI within ±1%).
@@ -18,7 +19,10 @@ byte-identical results (``--jobs 0`` uses every core).
 ``--instrument`` turns the work counters on: each point carries them in
 the JSON export and text runs print the merged totals per panel.  The
 ``overhead`` target renders the measured-vs-analytical control-overhead
-table.
+table.  The ``traffic`` target runs the broadcast service's
+offered-vs-delivered-load saturation sweep (one series per protocol,
+latency p50/p95/p99 per point); it honours ``--jobs``, ``--seed``,
+``--instrument`` and ``--format``.
 """
 
 from __future__ import annotations
@@ -77,6 +81,73 @@ def _emit_fig9(args: argparse.Namespace) -> None:
             print(f"wrote {path}")
 
 
+def _run_traffic(args: argparse.Namespace) -> None:
+    import random as _random
+
+    from ..algorithms import create
+    from ..graph.generators import random_connected_network
+    from ..metrics.results import format_table
+    from .export import table_to_csv, tables_to_json
+    from .traffic import TrafficSweepConfig, run_traffic_sweep
+
+    n = args.traffic_nodes if args.traffic_nodes else (60 if args.quick else 200)
+    count = args.messages if args.messages else (20 if args.quick else 50)
+    rates = tuple(args.rates) if args.rates else (0.2, 1.0, 5.0)
+    network = random_connected_network(
+        n, 6.0, _random.Random(args.seed)
+    )
+    protocols = [
+        (name, (lambda protocol_name=name: create(protocol_name)))
+        for name in args.protocols
+    ]
+    config = TrafficSweepConfig(
+        rates=rates,
+        count=count,
+        seed=args.seed,
+        ttl=args.ttl,
+        jobs=args.jobs if args.jobs else (os.cpu_count() or 1),
+        collect_counters=args.instrument,
+    )
+    progress = (
+        (lambda msg: print(f"  .. {msg}", file=sys.stderr))
+        if args.verbose
+        else None
+    )
+    table = run_traffic_sweep(network.topology, protocols, config, progress)
+    if args.format == "json":
+        print(tables_to_json([table]))
+    elif args.format == "csv":
+        print(f"# {table.title}")
+        print(table_to_csv(table))
+    else:
+        print(format_table(table, precision=4))
+        print()
+        print("latency SLOs (p50 / p95 / p99) per offered load:")
+        for series in table.series:
+            for point in series.points:
+                extras = point.extras or {}
+                if "latency_p50" in extras:
+                    slo = (
+                        f"{extras['latency_p50']:.2f} / "
+                        f"{extras['latency_p95']:.2f} / "
+                        f"{extras['latency_p99']:.2f}"
+                    )
+                else:
+                    slo = "no fully delivered messages"
+                print(
+                    f"  {series.label} @ rate {point.x:g}: {slo}  "
+                    f"(goodput {extras.get('goodput', 0.0):.4f}, "
+                    f"drops {extras.get('dropped_events', 0.0):g})"
+                )
+        totals = table.total_counters()
+        if totals is not None:
+            nonzero = {k: v for k, v in sorted(totals.items()) if v}
+            print()
+            print("measured work (instrumentation counters):")
+            for key, value in nonzero.items():
+                print(f"  {key}: {value}")
+
+
 def _run_figure(name: str, args: argparse.Namespace) -> None:
     builder = FIGURE_BUILDERS[name]
     ns = tuple(args.ns) if args.ns else (_QUICK_NS if args.quick else None)
@@ -124,7 +195,7 @@ def _run_figure(name: str, args: argparse.Namespace) -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
-    targets = ["table1", "fig9", *FIGURE_BUILDERS, "overhead", "all"]
+    targets = ["table1", "fig9", *FIGURE_BUILDERS, "overhead", "traffic", "all"]
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",
@@ -163,6 +234,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--format", choices=["text", "csv", "json"], default="text",
         help="output format for figure runs (default: text tables)",
     )
+    parser.add_argument(
+        "--rates", type=float, nargs="+", default=None,
+        help="traffic: offered Poisson loads to sweep (msgs/time unit)",
+    )
+    parser.add_argument(
+        "--messages", type=int, default=None,
+        help="traffic: messages injected per sweep point",
+    )
+    parser.add_argument(
+        "--traffic-nodes", type=int, default=None,
+        help="traffic: deployment size (default 200, or 60 with --quick)",
+    )
+    parser.add_argument(
+        "--ttl", type=float, default=None,
+        help="traffic: per-message TTL in simulation time units",
+    )
+    parser.add_argument(
+        "--protocols", nargs="+", default=["flooding", "dp", "pdp"],
+        help="traffic: protocol registry names, one series each",
+    )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
     if args.jobs < 0:
@@ -176,6 +267,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         trials = 5 if args.quick else 15
         measured = run_overhead_comparison(trials=trials)
         print(format_overhead_comparison(measured))
+    elif args.target == "traffic":
+        _run_traffic(args)
     elif args.target == "all":
         print(format_table1())
         print()

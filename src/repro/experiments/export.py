@@ -55,6 +55,14 @@ def _table_payload(table: ResultTable) -> Dict[str, Any]:
                             if point.counters is not None
                             else {}
                         ),
+                        # Same treatment for the secondary metrics the
+                        # traffic sweeps attach (latency percentiles,
+                        # goodput).
+                        **(
+                            {"extras": point.extras}
+                            if point.extras is not None
+                            else {}
+                        ),
                     }
                     for point in series.points
                 ],

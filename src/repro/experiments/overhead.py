@@ -88,6 +88,7 @@ def measure_overhead(
         outcome = BroadcastSession(
             env, protocol, rng.choice(net.topology.nodes()),
             rng=random.Random(trial),
+            _deprecation_warning=False,
         ).run()
         if len(outcome.delivered) != n:
             raise AssertionError("broadcast failed coverage")
@@ -160,6 +161,7 @@ def measure_overhead_instrumented(
             outcome = BroadcastSession(
                 env, protocol, rng.choice(net.topology.nodes()),
                 rng=random.Random(trial),
+                _deprecation_warning=False,
             ).run()
             if len(outcome.delivered) != n:
                 raise AssertionError("broadcast failed coverage")

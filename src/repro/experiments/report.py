@@ -112,7 +112,8 @@ def run_fig9_sample(
                 protocol = GenericSelfPruning(timing, hops=hops)
             protocol.prepare(env)
             session = BroadcastSession(
-                env, protocol, source, rng=random.Random(seed + hops)
+                env, protocol, source, rng=random.Random(seed + hops),
+                _deprecation_warning=False,
             )
             outcome = session.run()
             forward_sets[(hops, label)] = frozenset(outcome.forward_nodes)

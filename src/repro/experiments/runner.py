@@ -27,7 +27,7 @@ from ..graph.unit_disk import build_unit_disk_graph, edge_flips
 from ..instrument import collecting
 from ..metrics.results import DataPoint, ResultTable, Series
 from ..metrics.stats import repeat_until_confident
-from ..sim.engine import BroadcastSession, SimulationEnvironment
+from ..sim.engine import SimulationEnvironment, run_broadcast
 from .config import FigureSpec, PanelSpec, RunSettings, SeriesSpec
 
 __all__ = [
@@ -75,7 +75,11 @@ def _one_sample(
     protocol = spec.protocol_factory()
     protocol.prepare(env)
     source = rng.choice(network.topology.nodes())
-    outcome = BroadcastSession(env, protocol, source, rng=rng).run()
+    # The service-backed single-message path — byte-identical to the
+    # deprecated direct BroadcastSession (gated in bench_traffic.py).
+    outcome = run_broadcast(
+        network.topology, protocol, source, rng=rng, env=env
+    )
     if check_coverage and len(outcome.delivered) != n:
         missing = sorted(set(network.topology.nodes()) - outcome.delivered)
         raise CoverageViolation(

@@ -43,7 +43,7 @@ __all__ = [
 ]
 
 #: Fields that merge by ``max`` instead of ``+`` (high-water marks).
-MAX_FIELDS = frozenset({"scheduler_max_queue_depth"})
+MAX_FIELDS = frozenset({"scheduler_max_queue_depth", "queue_depth_max"})
 
 
 @dataclass
@@ -82,6 +82,14 @@ class InstrumentationCounters:
     transmissions: int = 0
     bytes_transmitted: int = 0
     decisions: int = 0
+    # sim/service.py (broadcast service)
+    #: High-water mark of any node's bounded egress queue (merge: max).
+    queue_depth_max: int = 0
+    #: Backpressure and staleness drops: queue_full + ttl_expired events.
+    messages_dropped: int = 0
+    #: Service decision-cache hits: forward/designate decisions reused
+    #: across messages within one topology epoch.
+    forward_set_reuses: int = 0
     # sim/hello.py
     hello_messages: int = 0
     # sim/reliable.py

@@ -5,6 +5,7 @@ from .stats import (
     RepeatResult,
     confidence_interval,
     mean,
+    percentile,
     repeat_until_confident,
     sample_stdev,
     student_t_quantile,
@@ -16,6 +17,7 @@ __all__ = [
     "RepeatResult",
     "confidence_interval",
     "mean",
+    "percentile",
     "repeat_until_confident",
     "sample_stdev",
     "student_t_quantile",

@@ -30,6 +30,11 @@ class DataPoint:
     #: plain name -> count mapping (``None`` when instrumentation was off).
     #: Kept as a dict so points pickle cheaply across worker processes.
     counters: Optional[Dict[str, int]] = None
+    #: Secondary per-point metrics beyond the headline mean — the traffic
+    #: sweeps carry latency percentiles (``latency_p50``/``p95``/``p99``)
+    #: and ``goodput`` here.  ``None`` for classic figure points, which
+    #: keeps their JSON export byte-stable.
+    extras: Optional[Dict[str, float]] = None
 
 
 @dataclass

@@ -19,6 +19,7 @@ from typing import Callable, List, Sequence
 
 __all__ = [
     "mean",
+    "percentile",
     "sample_stdev",
     "student_t_quantile",
     "ConfidenceInterval",
@@ -34,6 +35,31 @@ def mean(samples: Sequence[float]) -> float:
     if not samples:
         raise ValueError("mean of an empty sample")
     return sum(samples) / len(samples)
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100), linearly interpolated.
+
+    The classic "linear" method (numpy's default): the ``q``-th
+    percentile of ``n`` sorted samples sits at fractional rank
+    ``(n - 1) * q / 100`` and interpolates between its neighbours.  Used
+    for the broadcast service's latency SLO columns (p50/p95/p99), so it
+    must be exact and dependency-free.  Raises on an empty sequence.
+    """
+    if not samples:
+        raise ValueError("percentile of an empty sample")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
 
 
 def jain_fairness_index(values: Sequence[float]) -> float:

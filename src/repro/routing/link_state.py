@@ -96,7 +96,8 @@ class LinkStateRouting:
             protocol = MultipointRelay()
             protocol.prepare(self.env)
             session = BroadcastSession(
-                self.env, protocol, originator, rng=self.rng
+                self.env, protocol, originator, rng=self.rng,
+                _deprecation_warning=False,
             )
             outcome = session.run()
             self.total_transmissions += outcome.transmissions

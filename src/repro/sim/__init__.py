@@ -3,6 +3,8 @@
 from .engine import (
     BroadcastOutcome,
     BroadcastSession,
+    MessageState,
+    MessageTable,
     SimulationEnvironment,
     run_broadcast,
     session_seed,
@@ -36,14 +38,44 @@ from .packet import Packet, TrailEntry
 from .reliable import ReliableBroadcastSession, ReliableOutcome
 from .rounds import run_round_broadcast
 from .scheduler import EventScheduler
+from .service import (
+    MessageOutcome,
+    ServiceEngine,
+    ServiceOutcome,
+    service_seed,
+)
 from .trace import TraceEvent, TraceRecorder
+from .traffic import (
+    BurstyTraffic,
+    Message,
+    PoissonTraffic,
+    ScriptedTraffic,
+    SingleShot,
+    TrafficModel,
+    ZipfTraffic,
+    traffic_seed,
+)
 
 __all__ = [
     "BroadcastOutcome",
     "BroadcastSession",
+    "MessageState",
+    "MessageTable",
     "SimulationEnvironment",
     "run_broadcast",
     "session_seed",
+    "MessageOutcome",
+    "ServiceEngine",
+    "ServiceOutcome",
+    "service_seed",
+    "BurstyTraffic",
+    "Message",
+    "PoissonTraffic",
+    "ScriptedTraffic",
+    "SingleShot",
+    "TrafficModel",
+    "ZipfTraffic",
+    "traffic_seed",
     "EnergyAwarePriority",
     "EnergyTracker",
     "LifetimeResult",

@@ -158,7 +158,8 @@ def network_lifetime(
         protocol.prepare(env)
         source = rng.choice(graph.nodes())
         outcome = BroadcastSession(
-            env, protocol, source, rng=random.Random(rng.getrandbits(32))
+            env, protocol, source, rng=random.Random(rng.getrandbits(32)),
+            _deprecation_warning=False,
         ).run()
         tracker.charge_outcome(outcome)
         count += 1

@@ -32,8 +32,10 @@ from __future__ import annotations
 import hashlib
 import itertools
 import random
+import warnings
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Deque, Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 from ..algorithms.base import BroadcastProtocol, NodeContext, Timing
 from ..core import status as st
@@ -63,6 +65,8 @@ __all__ = [
     "SimulationEnvironment",
     "BroadcastSession",
     "BroadcastOutcome",
+    "MessageState",
+    "MessageTable",
     "run_broadcast",
     "session_seed",
 ]
@@ -246,13 +250,25 @@ class BroadcastOutcome:
         return sum(delivered) / len(delivered)
 
 
-class _NodeState:
-    """Engine-internal per-node runtime state."""
+class MessageState:
+    """Per-``(node, message)`` runtime state.
+
+    Historically the engine kept one ``_NodeState`` per node because it
+    only ever ran one message; the broadcast service runs many
+    concurrently, so everything message-scoped — dedup flags, snooped
+    visited/designated knowledge, designators, first/last packets — now
+    lives in this per-message record.  One node holds one
+    :class:`MessageState` per in-flight message, collected in its
+    :class:`MessageTable`; the legacy :class:`BroadcastSession` simply
+    keeps a single state (message 0) per node.
+    """
 
     __slots__ = (
         "received",
         "decided",
         "forwarded",
+        "queued",
+        "dropped",
         "decision_pending",
         "known_visited",
         "known_designated",
@@ -266,6 +282,14 @@ class _NodeState:
         self.received = False
         self.decided = False
         self.forwarded = False
+        #: A forward intent is waiting in the node's egress queue —
+        #: service-path only; guards against double-queuing a message
+        #: when a designation arrives while the intent is queued.
+        self.queued = False
+        #: The node decided to forward but its egress queue rejected the
+        #: transmission (backpressure) or the message expired while
+        #: queued — service-path only; the legacy engine never sets it.
+        self.dropped = False
         self.decision_pending = False
         self.known_visited: Set[int] = set()
         self.known_designated: Set[int] = set()
@@ -273,6 +297,90 @@ class _NodeState:
         self.first_packet: Optional[Packet] = None
         self.first_time: Optional[float] = None
         self.last_packet: Optional[Packet] = None
+
+
+class MessageTable:
+    """One node's per-message state plus its bounded egress FIFO queue.
+
+    The service engine's unit of node-local bookkeeping: a mapping
+    ``message_id -> MessageState`` for every message the node has seen,
+    and the FIFO of forward intents waiting for the node's transmitter.
+    ``capacity`` bounds the egress queue — when a forward intent arrives
+    while the queue is full, the service abandons it with an explicit
+    ``Drop(reason="queue_full")`` (backpressure, not silent loss).
+    ``capacity=None`` leaves the queue unbounded.
+    """
+
+    __slots__ = (
+        "node",
+        "capacity",
+        "busy_until",
+        "drain_scheduled",
+        "queue_depth_max",
+        "_states",
+        "_egress",
+    )
+
+    def __init__(self, node: int, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"queue capacity must be positive, got {capacity}")
+        self.node = node
+        self.capacity = capacity
+        #: Simulation time until which the node's transmitter is busy.
+        self.busy_until = 0.0
+        #: Whether a drain callback for this node's queue is already
+        #: scheduled (at most one in flight keeps the event stream lean).
+        self.drain_scheduled = False
+        #: High-water mark of the egress queue over the table's life.
+        self.queue_depth_max = 0
+        self._states: Dict[int, MessageState] = {}
+        self._egress: Deque[Tuple[int, FrozenSet[int]]] = deque()
+
+    def state(self, message_id: int) -> MessageState:
+        """The node's state for ``message_id``, created on first touch."""
+        state = self._states.get(message_id)
+        if state is None:
+            state = MessageState()
+            self._states[message_id] = state
+        return state
+
+    def get(self, message_id: int) -> Optional[MessageState]:
+        """The node's state for ``message_id``, or ``None`` if untouched."""
+        return self._states.get(message_id)
+
+    def items(self) -> Iterator[Tuple[int, MessageState]]:
+        """``(message_id, state)`` pairs in first-touch order."""
+        return iter(self._states.items())
+
+    def discard(self, message_id: int) -> None:
+        """Forget a message's state (post-expiry pruning)."""
+        self._states.pop(message_id, None)
+
+    # -- egress queue --------------------------------------------------
+
+    def queue_depth(self) -> int:
+        """Forward intents currently waiting for the transmitter."""
+        return len(self._egress)
+
+    def enqueue(self, message_id: int, designated: FrozenSet[int]) -> bool:
+        """Queue a forward intent; ``False`` means the queue is full.
+
+        ``designated`` is the forward-neighbor set fixed at decision
+        time; the packet itself is built when the transmitter frees up,
+        from the node's then-current snooped state.
+        """
+        if self.capacity is not None and len(self._egress) >= self.capacity:
+            return False
+        self._egress.append((message_id, designated))
+        if len(self._egress) > self.queue_depth_max:
+            self.queue_depth_max = len(self._egress)
+        return True
+
+    def dequeue(self) -> Optional[Tuple[int, FrozenSet[int]]]:
+        """Pop the oldest queued forward intent (``None`` when idle)."""
+        if not self._egress:
+            return None
+        return self._egress.popleft()
 
 
 #: Monotone sequence distinguishing same-process default-seeded sessions.
@@ -298,6 +406,15 @@ def session_seed(source: int, sequence: int) -> int:
 
 class BroadcastSession:
     """One broadcast of one protocol from one source over one deployment.
+
+    .. deprecated::
+        Direct construction is deprecated: the engine's supported entry
+        points are :func:`run_broadcast` (which now routes through the
+        multi-message broadcast service with a one-message traffic
+        model) and :class:`repro.sim.service.ServiceEngine` for real
+        traffic.  This class remains as the single-message *reference
+        executor* the service's byte-identity gates compare against;
+        constructing it emits a :class:`DeprecationWarning`.
 
     Parameters
     ----------
@@ -333,7 +450,17 @@ class BroadcastSession:
         collect_trace: bool = False,
         bus: Optional[EventBus] = None,
         collect_counters: bool = False,
+        _deprecation_warning: bool = True,
     ) -> None:
+        if _deprecation_warning:
+            warnings.warn(
+                "constructing BroadcastSession directly is deprecated; "
+                "use run_broadcast() (the service-backed single-message "
+                "path) or repro.sim.service.ServiceEngine for "
+                "multi-message traffic",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         if source not in env.graph:
             raise KeyError(f"source {source} not in the deployment graph")
         self.env = env
@@ -358,8 +485,8 @@ class BroadcastSession:
         self._bus_on = bus.active
         self._collect_trace = collect_trace
         self._collect_counters = collect_counters
-        self._states: Dict[int, _NodeState] = {
-            node: _NodeState() for node in env.graph.nodes()
+        self._states: Dict[int, MessageState] = {
+            node: MessageState() for node in env.graph.nodes()
         }
         self._designations: Dict[int, FrozenSet[int]] = {}
         self._receipt_counts: Dict[int, int] = {
@@ -644,18 +771,37 @@ def run_broadcast(
     collect_trace: bool = False,
     bus: Optional[EventBus] = None,
     collect_counters: bool = False,
+    env: Optional[SimulationEnvironment] = None,
 ) -> BroadcastOutcome:
-    """Convenience one-shot: environment + prepare + session + run."""
-    env = SimulationEnvironment(graph, scheme)
-    protocol.prepare(env)
-    session = BroadcastSession(
+    """Convenience one-shot: one broadcast through the service path.
+
+    Since the broadcast-service refactor this is a thin compatibility
+    wrapper: it runs a :class:`~repro.sim.service.ServiceEngine` under a
+    one-message :class:`~repro.sim.traffic.SingleShot` traffic model,
+    which is byte-identical to the deprecated direct
+    :class:`BroadcastSession` path (forward sets, event stream, byte
+    counts — gated in ``benchmarks/bench_traffic.py``).
+
+    ``env`` reuses a prepared :class:`SimulationEnvironment` (its graph
+    must be ``graph``); without it a fresh environment is built and the
+    protocol prepared, exactly like the historical behaviour.
+    """
+    from .service import ServiceEngine
+    from .traffic import SingleShot
+
+    if env is None:
+        env = SimulationEnvironment(graph, scheme)
+        protocol.prepare(env)
+    elif env.graph is not graph:
+        raise ValueError("env was built over a different graph")
+    engine = ServiceEngine(
         env,
         protocol,
-        source,
+        SingleShot(source),
         rng=rng,
         mac=mac,
         collect_trace=collect_trace,
         bus=bus,
         collect_counters=collect_counters,
     )
-    return session.run()
+    return engine.run().single_outcome()

@@ -54,10 +54,18 @@ __all__ = [
 
 @dataclass(frozen=True)
 class SimEvent:
-    """Base class: something one node did at one simulation time."""
+    """Base class: something one node did at one simulation time.
+
+    ``message_id`` names the broadcast message the event belongs to.
+    The legacy single-broadcast engine always runs message 0, so the
+    field defaults to 0 and :func:`events_to_jsonl` omits it at that
+    default — pre-service traces keep their exact byte encoding, while
+    multi-message service traces carry the id on every event.
+    """
 
     time: float
     node: int
+    message_id: int = 0
 
     #: Stable wire/type name, also the legacy trace "kind" where one exists.
     kind: ClassVar[str] = "event"
@@ -103,8 +111,11 @@ class Drop(SimEvent):
     """A copy from ``sender`` was lost on its way to ``node``.
 
     ``reason`` is ``"loss"`` (the MAC reported the copy lost at send
-    time) or ``"collision"`` (a later transmission destroyed the copy in
-    flight).
+    time), ``"collision"`` (a later transmission destroyed the copy in
+    flight), ``"queue_full"`` (backpressure: the node's bounded egress
+    queue was saturated, so its forward of the message was abandoned —
+    here ``sender == node``), or ``"ttl_expired"`` (the copy arrived, or
+    a queued transmission came up, after the message's TTL).
     """
 
     sender: int = -1
@@ -115,6 +126,10 @@ class Drop(SimEvent):
     def legacy(self) -> Optional[Tuple[str, str]]:
         if self.reason == "collision":
             return ("lost", f"collision, copy from {self.sender}")
+        if self.reason == "queue_full":
+            return ("lost", "egress queue full")
+        if self.reason == "ttl_expired":
+            return ("lost", f"ttl expired, copy from {self.sender}")
         return ("lost", f"copy from {self.sender}")
 
 
@@ -314,6 +329,12 @@ def events_to_jsonl(events: Sequence[SimEvent]) -> str:
     for event in events:
         payload = {"type": event.kind}
         payload.update(asdict(event))
+        if payload.get("message_id") == 0:
+            # Message 0 is the implicit default (the legacy single-shot
+            # engine's only message); eliding it keeps pre-service
+            # traces byte-identical while multi-message traces carry
+            # the id explicitly.
+            del payload["message_id"]
         lines.append(
             json.dumps(payload, sort_keys=True, separators=(",", ":"))
         )

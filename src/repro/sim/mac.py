@@ -63,6 +63,17 @@ class MacModel(ABC):
     def reset(self) -> None:
         """Clear any per-broadcast state (stateful models override)."""
 
+    def retire(self, now: float) -> None:
+        """Discard interference state that can no longer matter at ``now``.
+
+        The legacy engine runs one broadcast and resets between runs, so
+        stateful MACs could accumulate freely.  The broadcast service
+        shares one MAC across *every* concurrent message and calls this
+        on each injection: models prune whatever bookkeeping is outside
+        their interference horizon (stateless models do nothing), so a
+        long-lived service run stays O(in-flight) instead of O(history).
+        """
+
 
 class IdealMac(MacModel):
     """Collision-free unit-delay medium (the paper's setting)."""
@@ -144,6 +155,30 @@ class CollisionMac(MacModel):
         self._scheduled.clear()
         self._poisoned.clear()
         self.collisions = 0
+
+    def retire(self, now: float) -> None:
+        """Drop arrivals that finished more than a window before ``now``.
+
+        Any *future* arrival computed from time ``now`` lands at ``now +
+        delay > now``, so history older than ``now - window`` can never
+        overlap it again; ``corrupted`` checks fire at the arrival
+        instant, so poison marks in that past have already been read.
+        The ``collisions`` total is preserved — only bookkeeping ages out.
+        """
+        cutoff = now - self.window
+        for receiver in list(self._arrivals):
+            history = [t for t in self._arrivals[receiver] if t >= cutoff]
+            if history:
+                self._arrivals[receiver] = history
+            else:
+                del self._arrivals[receiver]
+        for table in (self._scheduled, self._poisoned):
+            for receiver in list(table):
+                kept = {t for t in table[receiver] if t >= cutoff}
+                if kept:
+                    table[receiver] = kept
+                else:
+                    del table[receiver]
 
     def deliveries(
         self,

@@ -42,12 +42,27 @@ class Packet:
     sender_two_hop:
         The sender's 2-hop neighbor set ``N2(sender)`` when the protocol
         piggybacks it (TDP), else ``None``.
+    message_id:
+        Which message this copy belongs to.  The legacy single-broadcast
+        engine always uses id 0; the broadcast service keys all dedup and
+        forward-set state by this id so concurrent messages never mix.
+    payload_units:
+        Abstract payload size carried on top of the control overhead
+        (:class:`~repro.sim.traffic.Message.size_units`); 0 for the
+        legacy path, which keeps its byte counts unchanged.
+    expires_at:
+        Absolute simulation time after which the message is stale;
+        copies delivered past this instant are dropped with
+        ``Drop(reason="ttl_expired")``.  ``None`` means no expiry.
     """
 
     source: int
     sender: int
     trail: Tuple[TrailEntry, ...] = ()
     sender_two_hop: Optional[FrozenSet[int]] = None
+    message_id: int = 0
+    payload_units: int = 0
+    expires_at: Optional[float] = None
 
     def designated_by_sender(self) -> FrozenSet[int]:
         """The designated set ``D(sender)`` carried by this packet."""
@@ -63,14 +78,19 @@ class Packet:
         small"; TDP's 2-hop piggyback is its cost).  Counting carried
         node ids — trail nodes, their designated sets, and the optional
         ``N2(sender)`` — makes that overhead measurable without
-        committing to a wire format.
+        committing to a wire format.  The message's abstract payload
+        (:attr:`payload_units`) rides on top.
         """
-        size = header
+        size = header + self.payload_units
         for entry in self.trail:
             size += 1 + len(entry.designated)
         if self.sender_two_hop is not None:
             size += len(self.sender_two_hop)
         return size
+
+    def expired(self, now: float) -> bool:
+        """Whether the carried message is past its TTL at time ``now``."""
+        return self.expires_at is not None and now > self.expires_at
 
     def forwarded(
         self,
@@ -89,6 +109,9 @@ class Packet:
             sender=sender,
             trail=trail,
             sender_two_hop=sender_two_hop,
+            message_id=self.message_id,
+            payload_units=self.payload_units,
+            expires_at=self.expires_at,
         )
 
     @staticmethod
@@ -97,6 +120,9 @@ class Packet:
         designated: FrozenSet[int],
         h: int,
         sender_two_hop: Optional[FrozenSet[int]] = None,
+        message_id: int = 0,
+        payload_units: int = 0,
+        expires_at: Optional[float] = None,
     ) -> "Packet":
         """The first transmission, emitted by the source."""
         trail = (TrailEntry(node=source, designated=designated),)[:h] if h else ()
@@ -105,4 +131,7 @@ class Packet:
             sender=source,
             trail=trail,
             sender_two_hop=sender_two_hop,
+            message_id=message_id,
+            payload_units=payload_units,
+            expires_at=expires_at,
         )

@@ -91,6 +91,7 @@ class ReliableBroadcastSession:
         session = BroadcastSession(
             self.env, self.protocol, self.source,
             rng=self.rng, mac=self.mac, bus=self.bus,
+            _deprecation_warning=False,
         )
         initial = session.run()
         graph = self.env.graph

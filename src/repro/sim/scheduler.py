@@ -71,9 +71,31 @@ class EventScheduler:
         ``max_events`` caps execution (a safety valve for tests); ``None``
         runs to quiescence.
         """
+        return self._drain(max_events=max_events, until=None)
+
+    def run_until(
+        self, until: float, max_events: Optional[int] = None
+    ) -> int:
+        """Execute every event with ``time <= until``; return the count.
+
+        The broadcast service's horizon valve: a saturated multi-message
+        run can be cut off at a fixed simulation time instead of being
+        drained to quiescence.  Events beyond the horizon stay queued
+        (callers may resume with another ``run``/``run_until``), and the
+        clock never advances past the last *executed* event.
+        """
+        if until < self._now:
+            raise ValueError(
+                f"cannot run until {until}; simulation time is {self._now}"
+            )
+        return self._drain(max_events=max_events, until=until)
+
+    def _drain(self, max_events: Optional[int], until: Optional[float]) -> int:
         executed = 0
         while self._queue:
             if max_events is not None and executed >= max_events:
+                break
+            if until is not None and self._queue[0][0] > until:
                 break
             time, _seq, callback = heapq.heappop(self._queue)
             self._now = time

@@ -1,0 +1,200 @@
+"""Traffic models: determinism, schedule invariants, and validation.
+
+Every model must produce a schedule that is a pure function of its
+parameters and the topology — byte-identical across instances — with
+dense message ids and non-decreasing injection times, drawing only from
+its own sha256-derived generator.
+"""
+
+import random
+
+import pytest
+
+from repro.graph.topology import Topology
+from repro.sim.traffic import (
+    BurstyTraffic,
+    Message,
+    PoissonTraffic,
+    ScriptedTraffic,
+    SingleShot,
+    ZipfTraffic,
+    traffic_seed,
+)
+
+
+@pytest.fixture
+def line_graph() -> Topology:
+    return Topology(edges=[(0, 1), (1, 2), (2, 3), (3, 4)])
+
+
+def _schedule_invariants(messages):
+    assert [m.message_id for m in messages] == list(range(len(messages)))
+    times = [m.injected_at for m in messages]
+    assert times == sorted(times)
+    assert all(t >= 0 for t in times)
+
+
+class TestMessage:
+    def test_expiry_is_injection_plus_ttl(self):
+        message = Message(message_id=0, source=1, injected_at=2.0, ttl=3.0)
+        assert message.expires_at == 5.0
+
+    def test_no_ttl_means_immortal(self):
+        assert Message(message_id=0, source=1).expires_at is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(injected_at=-1.0),
+            dict(size_units=-1),
+            dict(ttl=0.0),
+            dict(ttl=-2.0),
+        ],
+    )
+    def test_rejects_invalid_fields(self, kwargs):
+        with pytest.raises(ValueError):
+            Message(message_id=0, source=1, **kwargs)
+
+
+class TestSeedDerivation:
+    def test_distinct_kinds_and_seeds_decorrelate(self):
+        seeds = {
+            traffic_seed("poisson", 0),
+            traffic_seed("poisson", 1),
+            traffic_seed("bursty", 0),
+            traffic_seed("zipf", 0),
+        }
+        assert len(seeds) == 4
+
+    def test_seed_is_stable_across_calls(self):
+        assert traffic_seed("poisson", 7) == traffic_seed("poisson", 7)
+
+
+class TestSingleShot:
+    def test_generates_exactly_one_message(self, line_graph):
+        messages = SingleShot(2, size_units=3, ttl=9.0).generate(line_graph)
+        assert len(messages) == 1
+        only = messages[0]
+        assert (only.message_id, only.source) == (0, 2)
+        assert (only.size_units, only.ttl) == (3, 9.0)
+
+    def test_unknown_source_raises(self, line_graph):
+        with pytest.raises(KeyError):
+            SingleShot(99).generate(line_graph)
+
+
+class TestScriptedTraffic:
+    def test_passes_through_a_valid_script(self, line_graph):
+        script = [
+            Message(message_id=0, source=0, injected_at=0.0),
+            Message(message_id=1, source=3, injected_at=1.5),
+        ]
+        assert ScriptedTraffic(script).generate(line_graph) == script
+
+    def test_rejects_sparse_ids(self):
+        with pytest.raises(ValueError, match="dense"):
+            ScriptedTraffic([Message(message_id=1, source=0)])
+
+    def test_rejects_time_travel(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            ScriptedTraffic(
+                [
+                    Message(message_id=0, source=0, injected_at=2.0),
+                    Message(message_id=1, source=1, injected_at=1.0),
+                ]
+            )
+
+    def test_rejects_unknown_sources_at_generate(self, line_graph):
+        model = ScriptedTraffic([Message(message_id=0, source=42)])
+        with pytest.raises(KeyError):
+            model.generate(line_graph)
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda seed: PoissonTraffic(rate=2.0, count=40, seed=seed),
+        lambda seed: BurstyTraffic(burst_rate=5.0, count=40, seed=seed),
+        lambda seed: ZipfTraffic(rate=2.0, count=40, exponent=1.2, seed=seed),
+    ],
+    ids=["poisson", "bursty", "zipf"],
+)
+class TestArrivalProcesses:
+    def test_schedule_is_deterministic(self, factory, line_graph):
+        first = factory(3).generate(line_graph)
+        second = factory(3).generate(line_graph)
+        assert first == second
+
+    def test_schedule_invariants(self, factory, line_graph):
+        messages = factory(3).generate(line_graph)
+        assert len(messages) == 40
+        _schedule_invariants(messages)
+        assert all(m.source in line_graph for m in messages)
+
+    def test_different_seeds_differ(self, factory, line_graph):
+        assert factory(1).generate(line_graph) != factory(2).generate(
+            line_graph
+        )
+
+    def test_model_never_touches_global_rng(self, factory, line_graph):
+        random.seed(123)
+        before = random.getstate()
+        factory(5).generate(line_graph)
+        assert random.getstate() == before
+
+
+class TestPoissonShape:
+    def test_mean_gap_tracks_rate(self, line_graph):
+        messages = PoissonTraffic(rate=4.0, count=2000, seed=11).generate(
+            line_graph
+        )
+        mean_gap = messages[-1].injected_at / len(messages)
+        assert 0.2 < mean_gap < 0.3  # 1/rate = 0.25
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            PoissonTraffic(rate=0.0, count=10)
+        with pytest.raises(ValueError):
+            PoissonTraffic(rate=1.0, count=0)
+
+
+class TestBurstyShape:
+    def test_schedule_has_silent_gaps(self, line_graph):
+        model = BurstyTraffic(
+            burst_rate=10.0, count=200, mean_on=2.0, mean_off=20.0, seed=4
+        )
+        messages = model.generate(line_graph)
+        gaps = [
+            b.injected_at - a.injected_at
+            for a, b in zip(messages, messages[1:])
+        ]
+        # Off periods (mean 20) dwarf in-burst gaps (mean 0.1): the
+        # largest observed gap must be an off period.
+        assert max(gaps) > 5.0
+        assert min(gaps) < 1.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            BurstyTraffic(burst_rate=1.0, count=10, mean_on=0.0)
+
+
+class TestZipfShape:
+    def test_exponent_concentrates_sources(self, line_graph):
+        skewed = ZipfTraffic(rate=1.0, count=3000, exponent=3.0, seed=8)
+        messages = skewed.generate(line_graph)
+        top_share = sum(1 for m in messages if m.source == 0) / len(messages)
+        # rank-1 weight / sum(r^-3, r=1..5) ~ 0.83
+        assert top_share > 0.6
+
+    def test_zero_exponent_is_uniform(self, line_graph):
+        uniform = ZipfTraffic(rate=1.0, count=3000, exponent=0.0, seed=8)
+        messages = uniform.generate(line_graph)
+        counts = {node: 0 for node in line_graph.nodes()}
+        for m in messages:
+            counts[m.source] += 1
+        # Five nodes, uniform draws: every share should sit near 1/5.
+        assert min(counts.values()) > 0.12 * len(messages)
+
+    def test_rejects_negative_exponent(self):
+        with pytest.raises(ValueError):
+            ZipfTraffic(rate=1.0, count=10, exponent=-0.1)
