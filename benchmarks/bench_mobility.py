@@ -196,15 +196,23 @@ def _sweep_payload(steps) -> list:
     ]
 
 
-def run_delta_ab(smoke: bool) -> dict:
+def run_delta_ab(smoke: bool, jobs: int = 4) -> dict:
     """Time incremental vs rebuild sweeps under both coverage backends.
 
     The equivalence gate compares the full per-step payload (forward
     sets and flip counts) with :func:`bench_parallel.first_divergence`,
-    so a failure names the exact step and field that diverged.
+    so a failure names the exact step and field that diverged.  A third
+    leg replays the same fixture through the sharded driver
+    (``shards=(2, 2)``) on a real fork pool — ``identity_jobs`` is at
+    least 2 even on a single-core box, matching ``bench_parallel``'s
+    convention — and holds it to the same gate.  Timing claims clamp to
+    the core count (``jobs_effective``); identity claims do not.
     """
     steps = SMOKE_STEPS if smoke else FULL_STEPS
     dt = 1.0
+    cores = os.cpu_count() or 1
+    jobs_effective = max(1, min(jobs, cores))
+    identity_jobs = max(2, jobs_effective)
     backends = {}
     divergence = None
     for backend in BACKENDS:
@@ -222,6 +230,12 @@ def run_delta_ab(smoke: bool) -> dict:
                 incremental=False,
             )
             rebuild_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            sharded = run_mobility_sweep(
+                _delta_fixture(), steps, dt, scheme=DegreePriority(), k=2,
+                shards=(2, 2), jobs=identity_jobs,
+            )
+            sharded_seconds = time.perf_counter() - start
         finally:
             if saved is None:
                 del os.environ["REPRO_COVERAGE_BACKEND"]
@@ -230,11 +244,18 @@ def run_delta_ab(smoke: bool) -> dict:
         found = first_divergence(
             _sweep_payload(rebuild), _sweep_payload(incremental)
         )
+        if found is None:
+            found = first_divergence(
+                _sweep_payload(rebuild), _sweep_payload(sharded)
+            )
+            if found is not None:
+                found = f"(sharded leg) {found}"
         if found is not None and divergence is None:
             divergence = f"[{backend}] {found}"
         backends[backend] = {
             "incremental_seconds": round(incremental_seconds, 3),
             "rebuild_seconds": round(rebuild_seconds, 3),
+            "sharded_seconds": round(sharded_seconds, 3),
             "incremental_per_step_ms": round(
                 1000 * incremental_seconds / steps, 3
             ),
@@ -260,6 +281,10 @@ def run_delta_ab(smoke: bool) -> dict:
         "dt": dt,
         "scheme": "degree",
         "k": 2,
+        "cpu_count": cores,
+        "jobs_requested": jobs,
+        "jobs_effective": jobs_effective,
+        "identity_jobs": identity_jobs,
         "backends": backends,
         "min_speedup": round(min(speedups), 3) if speedups else None,
         "divergence": divergence,
@@ -280,9 +305,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="where to write the JSON record "
         "(default: BENCH_mobility_delta.json)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=4,
+        help="workers for the sharded identity leg; timing clamps to "
+        "the core count, identity runs on >= 2 real fork workers "
+        "regardless (default 4)",
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"argument --jobs: must be >= 1, got {args.jobs}")
 
-    record = run_delta_ab(args.smoke)
+    record = run_delta_ab(args.smoke, jobs=args.jobs)
     with open(args.out, "w", encoding="utf-8") as handle:
         json.dump(record, handle, indent=2)
         handle.write("\n")

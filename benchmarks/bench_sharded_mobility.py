@@ -1,0 +1,245 @@
+"""Sharded mobility engine: steps/sec scaling and the identity gate.
+
+Replays one 10k-node random-waypoint trace (recorded once as a
+:class:`~repro.graph.fliptrace.FlipTrace`, so every leg sees exactly the
+same flip stream) through the serial incremental sweep and through the
+sharded driver at every (shard grid, worker count) cell, and writes
+``BENCH_sharded_mobility.json`` at the repo root so the perf trajectory
+is tracked across PRs::
+
+    PYTHONPATH=src python benchmarks/bench_sharded_mobility.py
+    PYTHONPATH=src python benchmarks/bench_sharded_mobility.py --smoke
+
+Two gates:
+
+* **identity** (always): every sharded run's per-step payload (forward
+  sets and flip counts) must match the serial incremental sweep
+  byte-for-byte; a failure names the exact divergent step and field via
+  :func:`bench_parallel.first_divergence`.  Worker counts are **not**
+  clamped to the core count here — fork pools are real processes even
+  oversubscribed, so the contract is genuinely exercised at every
+  measured worker count.
+* **scaling** (full mode, only when the box has >= 4 cores): the best
+  4-worker sharded steps/sec must be >= 2.5x the 1-worker sharded
+  steps/sec.  On smaller boxes the gate is recorded as skipped with the
+  reason, and ``speedup`` is ``null`` for any run whose worker count
+  exceeds the core count (the ``bench_parallel`` convention).
+"""
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+from typing import List, Optional
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"),
+)
+
+from bench_parallel import first_divergence
+
+from repro.core.priority import DegreePriority
+from repro.experiments.runner import run_trace_sweep
+from repro.experiments.sharded import run_sharded_trace
+from repro.graph.fliptrace import record_flip_trace
+from repro.graph.geometry import Area, random_points
+from repro.graph.mobility import RandomWaypointModel
+from repro.graph.unit_disk import range_for_average_degree
+
+#: Default output location: repo root, next to BENCH_mobility_delta.json.
+OUT = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_sharded_mobility.json",
+)
+
+SEED = 19
+DEGREE = 6.0
+FULL_N = 10_000
+FULL_STEPS = 10
+SMOKE_N = 400
+SMOKE_STEPS = 5
+GRIDS = ((2, 2), (4, 2))
+WORKERS = (1, 2, 4)
+K = 2
+
+
+def _record_trace(n: int, steps: int):
+    """Record the shared flip stream once from a seeded waypoint model.
+
+    Slow walkers (0.0005..0.0015 distance units per time unit for the
+    10k fixture's short radius) keep per-step flip counts moderate —
+    the dirty-region regime the sharded engine targets — while the
+    10k-node scale makes the per-step re-decide work big enough to
+    amortise a fork pool.
+    """
+    rng = random.Random(SEED)
+    positions = random_points(n, Area(), rng)
+    radius, _ = range_for_average_degree(positions, DEGREE)
+    model = RandomWaypointModel(
+        positions, radius=radius, rng=rng,
+        min_speed=0.0005, max_speed=0.0015,
+    )
+    return record_flip_trace(model, steps, 1.0)
+
+
+def _payload(steps) -> list:
+    return [
+        {
+            "step": entry.step,
+            "forward": list(entry.forward),
+            "added": entry.added_edges,
+            "removed": entry.removed_edges,
+        }
+        for entry in steps
+    ]
+
+
+def run_scaling(smoke: bool) -> dict:
+    """Time every (grid, workers) cell against the serial sweep."""
+    n = SMOKE_N if smoke else FULL_N
+    steps = SMOKE_STEPS if smoke else FULL_STEPS
+    cores = os.cpu_count() or 1
+    scheme = DegreePriority()
+    trace = _record_trace(n, steps)
+    flips = sum(entry.flip_count for entry in trace.steps)
+
+    start = time.perf_counter()
+    serial = run_trace_sweep(trace, scheme=scheme, k=K)
+    serial_seconds = time.perf_counter() - start
+    oracle = _payload(serial)
+
+    runs = []
+    divergence = None
+    baseline = {}  # grid key -> 1-worker steps/sec
+    for grid in GRIDS:
+        for workers in WORKERS:
+            start = time.perf_counter()
+            sharded = run_sharded_trace(
+                trace, scheme=scheme, k=K, shards=grid, jobs=workers
+            )
+            seconds = time.perf_counter() - start
+            found = first_divergence(oracle, _payload(sharded))
+            key = f"{grid[0]}x{grid[1]}"
+            steps_per_sec = steps / seconds if seconds else None
+            if workers == 1 and steps_per_sec:
+                baseline[key] = steps_per_sec
+            speedup = None
+            if workers <= cores and steps_per_sec and baseline.get(key):
+                speedup = round(steps_per_sec / baseline[key], 3)
+            if found is not None and divergence is None:
+                divergence = f"[shards={key} workers={workers}] {found}"
+            runs.append({
+                "shards": key,
+                "workers": workers,
+                "workers_effective": min(workers, cores),
+                "seconds": round(seconds, 3),
+                "steps_per_sec": round(steps_per_sec, 3)
+                if steps_per_sec else None,
+                "speedup": speedup,
+                "handoff_redecides": sum(
+                    s.handoff_redecides for s in sharded
+                ),
+                "boundary_flips": sum(s.boundary_flips for s in sharded),
+                "first_divergence": found,
+            })
+
+    if cores >= 4:
+        best_4w = max(
+            (r["steps_per_sec"] or 0) for r in runs if r["workers"] == 4
+        )
+        best_1w = max(
+            (r["steps_per_sec"] or 0) for r in runs if r["workers"] == 1
+        )
+        scaling = {
+            "required": 2.5,
+            "measured": round(best_4w / best_1w, 3) if best_1w else None,
+            "passed": bool(best_1w) and best_4w / best_1w >= 2.5,
+            "skipped": None,
+        }
+    else:
+        scaling = {
+            "required": 2.5,
+            "measured": None,
+            "passed": None,
+            "skipped": f"needs >= 4 cores to measure, box has {cores}",
+        }
+
+    return {
+        "benchmark": "bench_sharded_mobility",
+        "mode": "smoke" if smoke else "full",
+        "n": n,
+        "degree": DEGREE,
+        "steps": steps,
+        "total_flips": flips,
+        "scheme": "degree",
+        "k": K,
+        "cpu_count": cores,
+        "serial_seconds": round(serial_seconds, 3),
+        "serial_steps_per_sec": round(steps / serial_seconds, 3)
+        if serial_seconds else None,
+        "runs": runs,
+        "scaling_gate": scaling,
+        "first_divergence": divergence,
+        "byte_identical": divergence is None,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Sharded vs serial incremental mobility sweep scaling."
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced fixture; non-zero exit only on an identity failure",
+    )
+    parser.add_argument(
+        "--out", default=OUT,
+        help="where to write the JSON record "
+        "(default: BENCH_sharded_mobility.json)",
+    )
+    args = parser.parse_args(argv)
+
+    record = run_scaling(args.smoke)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(json.dumps(record, indent=2))
+    print(f"wrote {args.out}", file=sys.stderr)
+    if not record["byte_identical"]:
+        print(
+            "FAIL: identity gate — a sharded run diverges from the "
+            "serial incremental sweep; first divergence "
+            "(serial=serial, parallel=sharded):\n"
+            f"  {record['first_divergence']}",
+            file=sys.stderr,
+        )
+        return 1
+    gate = record["scaling_gate"]
+    if not args.smoke and gate["skipped"] is None and not gate["passed"]:
+        print(
+            "FAIL: scaling gate — 4-worker sharded steps/sec must be "
+            f">= {gate['required']}x the 1-worker path; measured "
+            f"{gate['measured']}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def test_sharded_engine_identity_gate(benchmark):
+    """pytest-benchmark entry: the smoke run must stay byte-identical."""
+    record = benchmark.pedantic(
+        lambda: run_scaling(smoke=True), rounds=1, iterations=1
+    )
+    assert record["byte_identical"], record["first_divergence"]
+    assert record["total_flips"] > 0, "fixture flipped no links; vacuous"
+    # Every (grid, workers) cell ran and reported against the oracle.
+    assert len(record["runs"]) == len(GRIDS) * len(WORKERS)
+    assert any(r["workers"] >= 2 for r in record["runs"])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,10 +22,18 @@ from .report import (
 )
 from .runner import (
     CoverageViolation,
+    MobilityStep,
     measure_point,
     point_seed,
     run_figure,
+    run_mobility_sweep,
     run_panel,
+    run_trace_sweep,
+)
+from .sharded import (
+    ShardedStep,
+    run_sharded_mobility_sweep,
+    run_sharded_trace,
 )
 from .parallel import PointFailure, run_figure_parallel, run_panel_parallel
 from .traffic import (
@@ -72,10 +80,16 @@ __all__ = [
     "BroadcastWorkload",
     "WorkloadResult",
     "CoverageViolation",
+    "MobilityStep",
     "measure_point",
     "point_seed",
     "run_figure",
+    "run_mobility_sweep",
     "run_panel",
+    "run_trace_sweep",
+    "ShardedStep",
+    "run_sharded_mobility_sweep",
+    "run_sharded_trace",
     "PointFailure",
     "run_figure_parallel",
     "run_panel_parallel",

@@ -11,6 +11,7 @@ Examples::
     python -m repro.experiments fig11 --quick --instrument
     python -m repro.experiments overhead
     python -m repro.experiments traffic --rates 0.2 1.0 5.0 --jobs 4
+    python -m repro.experiments sharded-mobility --quick --shards 4 2 --jobs 4
 
 ``--quick`` shrinks the sweep and the repetition bounds so a figure runs
 in seconds; omit it for paper-precision runs (90% CI within ±1%).
@@ -22,7 +23,10 @@ the JSON export and text runs print the merged totals per panel.  The
 table.  The ``traffic`` target runs the broadcast service's
 offered-vs-delivered-load saturation sweep (one series per protocol,
 latency p50/p95/p99 per point); it honours ``--jobs``, ``--seed``,
-``--instrument`` and ``--format``.
+``--instrument`` and ``--format``.  The ``sharded-mobility`` target
+replays a random-waypoint trace through the sharded incremental engine
+(``--shards SX SY``, ``--jobs N``) and prints per-step re-decide,
+handoff, and boundary-flip statistics.
 """
 
 from __future__ import annotations
@@ -148,6 +152,55 @@ def _run_traffic(args: argparse.Namespace) -> None:
                 print(f"  {key}: {value}")
 
 
+def _run_sharded_mobility(args: argparse.Namespace) -> None:
+    import random as _random
+
+    from ..core.priority import DegreePriority
+    from ..graph.geometry import Area, random_points
+    from ..graph.mobility import RandomWaypointModel
+    from ..graph.unit_disk import range_for_average_degree
+    from .sharded import run_sharded_mobility_sweep
+
+    n = args.mobility_nodes if args.mobility_nodes else (300 if args.quick else 2000)
+    steps = args.steps if args.steps else (10 if args.quick else 40)
+    shards = tuple(args.shards)
+    jobs = args.jobs if args.jobs else (os.cpu_count() or 1)
+    rng = _random.Random(args.seed)
+    positions = random_points(n, Area(), rng)
+    radius, _ = range_for_average_degree(positions, 6.0)
+    model = RandomWaypointModel(
+        positions, radius=radius, rng=rng, min_speed=0.02, max_speed=0.05
+    )
+    results = run_sharded_mobility_sweep(
+        model, steps, 1.0,
+        scheme=DegreePriority(), k=2, shards=shards, jobs=jobs,
+    )
+    print(
+        f"sharded mobility sweep: n={n} steps={steps} "
+        f"shards={shards[0]}x{shards[1]} jobs={jobs}"
+    )
+    header = (
+        f"{'step':>4}  {'forward':>7}  {'redecided':>9}  {'shard':>6}  "
+        f"{'handoff':>7}  {'boundary':>8}  {'flips':>5}"
+    )
+    print(header)
+    for step in results:
+        print(
+            f"{step.step:>4}  {len(step.forward):>7}  {step.redecided:>9}  "
+            f"{step.shard_redecides:>6}  {step.handoff_redecides:>7}  "
+            f"{step.boundary_flips:>8}  "
+            f"{step.added_edges + step.removed_edges:>5}"
+        )
+    print(
+        "totals: "
+        f"redecided={sum(s.redecided for s in results)} "
+        f"shard_redecides={sum(s.shard_redecides for s in results)} "
+        f"handoff={sum(s.handoff_redecides for s in results)} "
+        f"boundary_flips={sum(s.boundary_flips for s in results)} "
+        f"flips={sum(s.added_edges + s.removed_edges for s in results)}"
+    )
+
+
 def _run_figure(name: str, args: argparse.Namespace) -> None:
     builder = FIGURE_BUILDERS[name]
     ns = tuple(args.ns) if args.ns else (_QUICK_NS if args.quick else None)
@@ -195,7 +248,10 @@ def _run_figure(name: str, args: argparse.Namespace) -> None:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
-    targets = ["table1", "fig9", *FIGURE_BUILDERS, "overhead", "traffic", "all"]
+    targets = [
+        "table1", "fig9", *FIGURE_BUILDERS,
+        "overhead", "traffic", "sharded-mobility", "all",
+    ]
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures.",
@@ -254,6 +310,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--protocols", nargs="+", default=["flooding", "dp", "pdp"],
         help="traffic: protocol registry names, one series each",
     )
+    parser.add_argument(
+        "--shards", type=int, nargs=2, default=[2, 2], metavar=("SX", "SY"),
+        help="sharded-mobility: spatial shard grid (columns rows)",
+    )
+    parser.add_argument(
+        "--steps", type=int, default=None,
+        help="sharded-mobility: mobility steps to replay "
+        "(default 40, or 10 with --quick)",
+    )
+    parser.add_argument(
+        "--mobility-nodes", type=int, default=None,
+        help="sharded-mobility: deployment size (default 2000, or 300 "
+        "with --quick)",
+    )
     parser.add_argument("--verbose", action="store_true")
     args = parser.parse_args(argv)
     if args.jobs < 0:
@@ -269,6 +339,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(format_overhead_comparison(measured))
     elif args.target == "traffic":
         _run_traffic(args)
+    elif args.target == "sharded-mobility":
+        _run_sharded_mobility(args)
     elif args.target == "all":
         print(format_table1())
         print()

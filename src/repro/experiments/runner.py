@@ -14,14 +14,15 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from ..algorithms.base import BroadcastProtocol
 from ..core.coverage import coverage_condition
 from ..core.priority import IdPriority, PriorityScheme, scheme_by_name
 from ..core.views import local_view
+from ..graph.fliptrace import FlipTrace
 from ..graph.generators import random_connected_network
-from ..graph.mobility import RandomWaypointModel
+from ..graph.mobility import RandomWaypointModel, SnapshotDelta
 from ..graph.topology import Topology
 from ..graph.unit_disk import build_unit_disk_graph, edge_flips
 from ..instrument import collecting
@@ -38,6 +39,7 @@ __all__ = [
     "run_panel",
     "run_figure",
     "run_mobility_sweep",
+    "run_trace_sweep",
 ]
 
 
@@ -233,6 +235,8 @@ def run_mobility_sweep(
     scheme: Optional[PriorityScheme] = None,
     k: int = 2,
     incremental: bool = True,
+    shards: Optional[Tuple[int, int]] = None,
+    jobs: int = 1,
 ) -> List[MobilityStep]:
     """Exact forward sets across a mobility trace, one entry per step.
 
@@ -255,10 +259,28 @@ def run_mobility_sweep(
     identically (only :meth:`~repro.graph.mobility.RandomWaypointModel.
     advance` draws), so equally-seeded models produce byte-identical
     ``forward`` tuples either way.
+
+    With ``shards=(sx, sy)`` the incremental sweep's dirty-region
+    re-decisions fan out over ``jobs`` fork workers across a spatial
+    shard grid (see :mod:`repro.experiments.sharded`); the returned
+    :class:`~repro.experiments.sharded.ShardedStep` entries carry the
+    same ``step``/``time``/``forward``/``redecided``/flip-count fields
+    with byte-identical values at any grid and worker count.
     """
     if steps < 0:
         raise ValueError(f"steps must be non-negative, got {steps}")
     scheme = scheme or IdPriority()
+    if shards is not None:
+        if not incremental:
+            raise ValueError(
+                "sharded sweeps are incremental by construction; "
+                "incremental=False is only for the rebuild oracle"
+            )
+        from .sharded import run_sharded_mobility_sweep
+
+        return run_sharded_mobility_sweep(
+            model, steps, dt, scheme=scheme, k=k, shards=shards, jobs=jobs
+        )
     if incremental:
         return _mobility_sweep_incremental(model, steps, dt, scheme, k)
     return _mobility_sweep_rebuild(model, steps, dt, scheme, k)
@@ -274,10 +296,27 @@ def _mobility_sweep_incremental(
     locality = scheme.metric_locality
     radius = None if locality is None else k + locality
     extra = () if radius is None else (radius,)
+    return _incremental_sweep_over(
+        model.snapshot_deltas(dt, steps, extra_radii=extra), scheme, k, radius
+    )
+
+
+def _incremental_sweep_over(
+    deltas: Iterable[SnapshotDelta],
+    scheme: PriorityScheme,
+    k: int,
+    radius: Optional[int],
+) -> List[MobilityStep]:
+    """The incremental decision loop over any SnapshotDelta stream.
+
+    Shared by the live-model sweep and the recorded-trace replay; the
+    sharded driver replicates this stale-set logic exactly (its
+    determinism contract depends on it).
+    """
     decisions: Dict[int, bool] = {}
     metrics: Optional[Dict[int, Tuple[float, ...]]] = None
     results: List[MobilityStep] = []
-    for snap in model.snapshot_deltas(dt, steps, extra_radii=extra):
+    for snap in deltas:
         graph = snap.graph.topology
         if not decisions:
             stale = graph.nodes()  # first step: everything undecided
@@ -340,3 +379,25 @@ def _mobility_sweep_rebuild(
         )
         previous = graph
     return results
+
+
+def run_trace_sweep(
+    trace: FlipTrace,
+    scheme: Optional[PriorityScheme] = None,
+    k: int = 2,
+) -> List[MobilityStep]:
+    """Serial incremental sweep over a recorded :class:`FlipTrace`.
+
+    Replays the trace's flip stream through the exact decision loop of
+    :func:`run_mobility_sweep` with ``incremental=True``, so a recorded
+    workload can A/B schemes — and serve as the serial oracle for the
+    sharded driver (:func:`repro.experiments.sharded.run_sharded_trace`)
+    — without re-running the mobility model.
+    """
+    scheme = scheme or IdPriority()
+    locality = scheme.metric_locality
+    radius = None if locality is None else k + locality
+    extra = () if radius is None else (radius,)
+    return _incremental_sweep_over(
+        trace.replay(extra_radii=extra), scheme, k, radius
+    )

@@ -1,0 +1,463 @@
+"""Sharded mobility driver: parallel dirty-region re-decides over one
+continuously running network.
+
+The serial incremental sweep (:func:`repro.experiments.runner.
+run_mobility_sweep` with ``incremental=True``) replays a mobile trace
+through one mutable :class:`Topology` and re-decides only the dirty ball
+of radius ``k + scheme.metric_locality`` per step.  This module
+parallelises that *within* the trace:
+
+* the deployment is partitioned into spatial shards
+  (:class:`~repro.graph.sharding.ShardGrid` — contiguous cell blocks
+  with a ``k + metric_locality``-cell halo);
+* every worker process holds a **full topology replica**, forked from
+  the base snapshot and kept in lockstep by applying every step's
+  ``edge_flips`` through its own :meth:`Topology.apply_delta` — so any
+  worker's re-decision sees the true global graph, and shard geometry
+  governs only *which* worker re-decides *what*;
+* each step's dirty nodes are routed to every shard whose core + halo
+  contains them (pinned from the base positions).  Dirty balls that
+  cross a shard boundary are therefore re-decided by every touching
+  shard — the **cross-shard handoff** — and the merge keeps the entry
+  reported by the lowest routed shard id (the owner rule), which makes
+  the merged forward set deterministic by construction;
+* the expensive part — coverage-condition evaluation over extracted
+  k-hop views — is what actually fans out; delta application and
+  metric-table rebuilds are O(flips)/O(n) bookkeeping by comparison.
+
+The determinism contract: for any shard grid and any worker count, the
+per-step forward sets are **byte-identical** to the single-process
+incremental path, because (a) the routed set equals the serial stale
+set exactly (same ``dirty_at`` radius, same first-step/flip-free/
+fallback cases), (b) every worker evaluates on an identical replica, so
+all copies of a handoff re-decision agree, and (c) the owner rule picks
+the canonical copy without looking at values.  ``jobs=1`` (or a
+platform without ``fork``) runs the same routing in-process.
+
+Workers communicate over pipes with task→worker affinity (shard ``s``
+lives on worker ``s % jobs`` for the whole sweep) — a plain task pool
+would lose the warm replica between steps.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..core.priority import IdPriority, PriorityScheme
+from ..graph.fliptrace import FlipTrace
+from ..graph.geometry import Point
+from ..graph.mobility import RandomWaypointModel, SnapshotDelta
+from ..graph.sharding import ShardGrid
+from ..graph.topology import Topology
+from ..graph.unit_disk import build_unit_disk_graph
+from ..instrument import InstrumentationCounters, collecting
+from ..instrument import _STACK as _COUNTER_STACK
+from .runner import _forward_decision
+
+__all__ = [
+    "ShardedStep",
+    "run_sharded_mobility_sweep",
+    "run_sharded_trace",
+]
+
+Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class ShardedStep:
+    """One sharded mobility step's merged forward-set snapshot.
+
+    ``forward`` and ``redecided`` are byte-identical to the serial
+    incremental path's :class:`~repro.experiments.runner.MobilityStep`
+    fields; the shard-specific fields expose the routing work:
+    ``shard_redecides`` counts re-decisions summed over shards (handoff
+    copies included), ``handoff_redecides`` the copies beyond each
+    node's first routed shard, and ``boundary_flips`` the flips whose
+    endpoints' routed shard sets span more than one shard.
+    """
+
+    step: int
+    time: float
+    forward: Tuple[int, ...]
+    redecided: int
+    shard_redecides: int
+    handoff_redecides: int
+    boundary_flips: int
+    added_edges: int
+    removed_edges: int
+
+
+class _ShardWorker:
+    """One worker's replica state: a full topology kept in lockstep.
+
+    Lives either inside a forked child process or in-process (the
+    ``jobs=1`` / no-``fork`` fallback).  The replica is private to the
+    worker — DET010 flags any outside mutation of it — and is advanced
+    exclusively through :meth:`apply_step`, which mirrors the serial
+    sweep: apply this step's flips, drop the metric table if anything
+    flipped, then re-decide exactly the routed nodes.
+    """
+
+    def __init__(
+        self, topology: Topology, scheme: PriorityScheme, k: int
+    ) -> None:
+        self._replica = topology
+        self._scheme = scheme
+        self._k = k
+        self._shard_metrics: Optional[Dict[int, Tuple[float, ...]]] = None
+
+    def apply_step(
+        self,
+        added: Tuple[Edge, ...],
+        removed: Tuple[Edge, ...],
+        nodes: Tuple[int, ...],
+    ) -> List[Tuple[int, bool]]:
+        """Advance the replica one step and re-decide ``nodes``."""
+        self._sync_replica(added, removed)
+        return self._redecide(nodes)
+
+    def _sync_replica(
+        self, added: Tuple[Edge, ...], removed: Tuple[Edge, ...]
+    ) -> None:
+        if added or removed:
+            self._replica.apply_delta(
+                added_edges=list(added), removed_edges=list(removed)
+            )
+            self._shard_metrics = None
+
+    def _redecide(self, nodes: Tuple[int, ...]) -> List[Tuple[int, bool]]:
+        if not nodes:
+            return []
+        if self._shard_metrics is None:
+            self._shard_metrics = self._scheme.metrics(self._replica)
+        return [
+            (
+                node,
+                _forward_decision(
+                    self._replica, node, self._k, self._scheme,
+                    self._shard_metrics,
+                ),
+            )
+            for node in nodes
+        ]
+
+
+def _shard_worker_main(conn, topology, scheme, k) -> None:
+    """Child-process loop: receive steps, answer with decisions.
+
+    Counters collected during the step travel back as a plain dict and
+    are merged into the parent's active scope, so instrumented sharded
+    sweeps aggregate to the same totals as serial ones.
+    """
+    worker = _ShardWorker(topology, scheme, k)
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            break
+        if message is None:
+            break
+        step, added, removed, nodes = message
+        with collecting() as counters:
+            decided = worker.apply_step(added, removed, nodes)
+        conn.send((step, decided, counters.as_dict()))
+    conn.close()
+
+
+class _ForkShardPool:
+    """Persistent fork-spawned workers with shard→worker affinity."""
+
+    def __init__(
+        self,
+        context,
+        topology: Topology,
+        scheme: PriorityScheme,
+        k: int,
+        workers: int,
+    ) -> None:
+        self._procs = []
+        self._conns = []
+        for _index in range(workers):
+            parent_conn, child_conn = context.Pipe()
+            proc = context.Process(
+                target=_shard_worker_main,
+                args=(child_conn, topology, scheme, k),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+
+    @property
+    def workers(self) -> int:
+        return len(self._conns)
+
+    def step(
+        self,
+        step: int,
+        added: Tuple[Edge, ...],
+        removed: Tuple[Edge, ...],
+        nodes_by_worker: Dict[int, Tuple[int, ...]],
+    ):
+        """Fan one step out to every worker and gather the decisions.
+
+        Every worker receives the full flip lists (replicas advance in
+        lockstep even when no dirty node routed to them); only the
+        routed nodes differ per worker.  All sends complete before the
+        first receive, so workers compute concurrently.
+        """
+        for index, conn in enumerate(self._conns):
+            conn.send((step, added, removed, nodes_by_worker.get(index, ())))
+        decided: Dict[int, Dict[int, bool]] = {}
+        payloads: List[Dict[str, int]] = []
+        for index, conn in enumerate(self._conns):
+            try:
+                got_step, entries, counters = conn.recv()
+            except EOFError:
+                raise RuntimeError(
+                    f"shard worker {index} died at step {step} "
+                    f"(exitcode={self._procs[index].exitcode})"
+                ) from None
+            if got_step != step:
+                raise RuntimeError(
+                    f"shard worker {index} answered step {got_step} "
+                    f"while the driver was at step {step}"
+                )
+            decided[index] = dict(entries)
+            payloads.append(counters)
+        return decided, payloads
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+            conn.close()
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - hung worker
+                proc.terminate()
+                proc.join(timeout=5)
+
+
+class _InlineShardPool:
+    """In-process fallback: one replica decides every routed node.
+
+    Used for ``jobs=1`` and on platforms without the ``fork`` start
+    method.  Decisions are computed once over the deduplicated union of
+    all routed nodes and served under every worker index, so the
+    driver's merge logic is identical either way.
+    """
+
+    def __init__(
+        self, topology: Topology, scheme: PriorityScheme, k: int
+    ) -> None:
+        self._worker = _ShardWorker(topology, scheme, k)
+
+    @property
+    def workers(self) -> int:
+        return 1
+
+    def step(
+        self,
+        step: int,
+        added: Tuple[Edge, ...],
+        removed: Tuple[Edge, ...],
+        nodes_by_worker: Dict[int, Tuple[int, ...]],
+    ):
+        union: Dict[int, None] = {}
+        for index in sorted(nodes_by_worker):
+            for node in nodes_by_worker[index]:
+                union[node] = None
+        decided = dict(self._worker.apply_step(added, removed, tuple(union)))
+        served = {index: decided for index in nodes_by_worker}
+        return served, []
+
+    def close(self) -> None:
+        """Nothing to tear down in-process."""
+
+
+def _fork_context():
+    """The ``fork`` multiprocessing context, or ``None`` on platforms
+    without it (the driver then degrades to the in-process pool)."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+
+
+def _open_pool(
+    topology: Topology, scheme: PriorityScheme, k: int, workers: int
+):
+    context = _fork_context() if workers > 1 else None
+    if context is None:
+        return _InlineShardPool(topology, scheme, k)
+    return _ForkShardPool(context, topology, scheme, k, workers)
+
+
+def _sharded_sweep(
+    base_positions: Dict[int, Point],
+    radius: float,
+    deltas: Iterator[SnapshotDelta],
+    scheme: PriorityScheme,
+    k: int,
+    shards: Tuple[int, int],
+    jobs: int,
+) -> List[ShardedStep]:
+    """The core driver: route, fan out, merge — one delta at a time."""
+    locality = scheme.metric_locality
+    dirty_radius = None if locality is None else k + locality
+    grid = ShardGrid(
+        base_positions,
+        radius,
+        shape=shards,
+        halo_cells=k + (locality or 0),
+    )
+    assignment = grid.assign(base_positions)
+    workers = max(1, min(jobs, grid.shard_count))
+    replica = build_unit_disk_graph(base_positions, radius).topology
+    pool = _open_pool(replica, scheme, k, workers)
+    workers = pool.workers
+    decisions: Dict[int, bool] = {}
+    results: List[ShardedStep] = []
+    try:
+        for snap in deltas:
+            graph = snap.graph.topology
+            if not decisions:
+                stale = list(graph.nodes())  # first step: all undecided
+            elif snap.report is None:
+                stale = []  # no link flipped; cached decisions stand
+            elif dirty_radius is None or not snap.report.fast_path:
+                stale = list(graph.nodes())
+            else:
+                stale = sorted(snap.report.dirty_at(dirty_radius))
+            by_worker: Dict[int, List[int]] = {}
+            owner_worker: Dict[int, int] = {}
+            shard_redecides = 0
+            handoff = 0
+            for node in stale:
+                sids = assignment.routed[node]
+                shard_redecides += len(sids)
+                handoff += len(sids) - 1
+                # Owner rule: the lowest routed shard id wins; its worker
+                # serves the canonical decision for this node.
+                owner_worker[node] = sids[0] % workers
+                routed_to = ()
+                for sid in sids:
+                    index = sid % workers
+                    if index in routed_to:
+                        continue  # shard co-located on an earlier worker
+                    routed_to += (index,)
+                    by_worker.setdefault(index, []).append(node)
+            boundary = 0
+            for edge in tuple(snap.added_edges) + tuple(snap.removed_edges):
+                spanned = set(assignment.routed[edge[0]])
+                spanned.update(assignment.routed[edge[1]])
+                if len(spanned) > 1:
+                    boundary += 1
+            decided, payloads = pool.step(
+                snap.step,
+                tuple(snap.added_edges),
+                tuple(snap.removed_edges),
+                {index: tuple(nodes) for index, nodes in by_worker.items()},
+            )
+            for node in stale:
+                decisions[node] = decided[owner_worker[node]][node]
+            if _COUNTER_STACK:
+                scope = _COUNTER_STACK[-1]
+                scope.shard_redecides += shard_redecides
+                scope.shard_handoff_redecides += handoff
+                scope.shard_boundary_flips += boundary
+                for payload in payloads:
+                    scope.merge(InstrumentationCounters.from_dict(payload))
+            results.append(
+                ShardedStep(
+                    step=snap.step,
+                    time=snap.time,
+                    forward=tuple(sorted(
+                        node for node, flag in decisions.items() if flag
+                    )),
+                    redecided=len(stale),
+                    shard_redecides=shard_redecides,
+                    handoff_redecides=handoff,
+                    boundary_flips=boundary,
+                    added_edges=len(snap.added_edges),
+                    removed_edges=len(snap.removed_edges),
+                )
+            )
+    finally:
+        pool.close()
+    return results
+
+
+def _extra_radii(scheme: PriorityScheme, k: int) -> Tuple[int, ...]:
+    locality = scheme.metric_locality
+    return () if locality is None else (k + locality,)
+
+
+def run_sharded_mobility_sweep(
+    model: RandomWaypointModel,
+    steps: int,
+    dt: float,
+    scheme: Optional[PriorityScheme] = None,
+    k: int = 2,
+    shards: Tuple[int, int] = (2, 2),
+    jobs: int = 1,
+) -> List[ShardedStep]:
+    """Sharded exact forward sets across a mobility trace.
+
+    The sharded twin of :func:`~repro.experiments.runner.
+    run_mobility_sweep` — same model, same per-step forward sets (the
+    determinism contract in the module docstring), with the dirty-region
+    re-decisions fanned out over ``jobs`` fork workers across a
+    ``shards = (sx, sy)`` grid.  ``jobs`` is clamped to the shard count
+    (an idle worker would own no shard); callers wanting core-count
+    clamping do it at the CLI/benchmark layer.
+    """
+    if steps < 0:
+        raise ValueError(f"steps must be non-negative, got {steps}")
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    scheme = scheme or IdPriority()
+    base_positions = dict(model.positions())
+    return _sharded_sweep(
+        base_positions,
+        model.radius,
+        model.snapshot_deltas(dt, steps, extra_radii=_extra_radii(scheme, k)),
+        scheme,
+        k,
+        shards,
+        jobs,
+    )
+
+
+def run_sharded_trace(
+    trace: FlipTrace,
+    scheme: Optional[PriorityScheme] = None,
+    k: int = 2,
+    shards: Tuple[int, int] = (2, 2),
+    jobs: int = 1,
+) -> List[ShardedStep]:
+    """Sharded sweep over a recorded :class:`FlipTrace`.
+
+    Replays the trace's flip stream instead of a live model, so the
+    identical workload can A/B shard grids and worker counts (and be
+    compared against :func:`~repro.experiments.runner.run_trace_sweep`,
+    the serial incremental replay).
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    scheme = scheme or IdPriority()
+    return _sharded_sweep(
+        trace.positions,
+        trace.radius,
+        trace.replay(extra_radii=_extra_radii(scheme, k)),
+        scheme,
+        k,
+        shards,
+        jobs,
+    )

@@ -33,6 +33,8 @@ from .io import (
     to_networkx,
 )
 from .mobility import RandomWaypointModel, SnapshotDelta
+from .fliptrace import FlipStep, FlipTrace, record_flip_trace
+from .sharding import ShardAssignment, ShardGrid
 
 __all__ = [
     "Area",
@@ -74,4 +76,9 @@ __all__ = [
     "lowest_id_clustering",
     "RandomWaypointModel",
     "SnapshotDelta",
+    "FlipStep",
+    "FlipTrace",
+    "record_flip_trace",
+    "ShardAssignment",
+    "ShardGrid",
 ]

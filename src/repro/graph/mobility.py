@@ -40,7 +40,10 @@ class SnapshotDelta:
     iteration — mutated in place through ``apply_delta`` so per-epoch
     caches survive for every node outside the dirty set.  ``report`` is
     ``None`` on steps where no link flipped (the topology is untouched,
-    caches survive verbatim).
+    caches survive verbatim).  ``flip_count`` is the total number of
+    links that crossed the radius threshold this step
+    (``len(added_edges) + len(removed_edges)``) — a cheap pre-computed
+    field so routers and trace statistics never re-derive it.
     """
 
     step: int
@@ -49,6 +52,7 @@ class SnapshotDelta:
     added_edges: Tuple[Tuple[int, int], ...]
     removed_edges: Tuple[Tuple[int, int], ...]
     report: Optional[DeltaReport]
+    flip_count: int
 
 
 class RandomWaypointModel:
@@ -221,4 +225,5 @@ class RandomWaypointModel:
                 added_edges=tuple(added),
                 removed_edges=tuple(removed),
                 report=report,
+                flip_count=len(added) + len(removed),
             )

@@ -1,0 +1,210 @@
+"""Spatial shards over the cell grid: the routing geometry of the
+sharded mobility engine.
+
+The incremental engine (:meth:`Topology.apply_delta`) already confines a
+link flip's effect to the dirty ball of radius ``k + metric_locality``
+around its endpoints (Definition 2 locality).  To parallelise *within*
+one mobile trace, the deployment area is partitioned into **shards** —
+contiguous blocks of :class:`~repro.graph.cellgrid.CellGrid` cells — and
+each shard re-decides the dirty nodes that fall inside its block.
+
+Because the cell side is at least the transmission radius, one hop moves
+a node by at most one cell in Chebyshev distance, so a dirty ball of
+hop-radius ``r`` seeded at a flip endpoint stays within ``r`` cells of
+that endpoint.  Giving every shard a **halo** of ``halo_cells = k +
+metric_locality`` cells around its core block therefore guarantees that
+a flip whose endpoint lies in a shard's core has its *entire* dirty ball
+inside that shard's core + halo.  Conversely, a dirty node near a shard
+boundary lies in the halo of every adjacent shard — those shards all
+re-decide it (cross-shard handoff), and the driver's owner rule (lowest
+shard id wins) picks the canonical forward-set entry deterministically.
+
+The geometry here governs **work routing and the determinism contract
+only** — never correctness: every worker in
+:mod:`repro.experiments.sharded` holds a full topology replica, so each
+re-decision sees the true global graph whichever shard computed it.
+
+Shard assignment is pinned from one set of positions (the trace's base
+snapshot): node movement within a trace does not re-home nodes, which
+keeps routing byte-stable, independent of replay order, and free of any
+per-step position traffic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .cellgrid import CellGrid
+from .geometry import Point
+
+__all__ = ["ShardAssignment", "ShardGrid"]
+
+
+@dataclass(frozen=True)
+class ShardAssignment:
+    """A pinned node-to-shard routing table.
+
+    ``owner`` maps every node to the single shard whose core block
+    contains its (clamped) cell; ``routed`` maps every node to the
+    sorted tuple of all shards whose core + halo contains it — the
+    shards that re-decide the node when it turns dirty.  ``owner[v]`` is
+    always a member of ``routed[v]``.
+    """
+
+    owner: Dict[int, int]
+    routed: Dict[int, Tuple[int, ...]]
+
+    def handoff_width(self, node: int) -> int:
+        """How many shards beyond the first re-decide ``node``."""
+        return len(self.routed[node]) - 1
+
+
+class ShardGrid:
+    """A ``(sx, sy)`` grid of contiguous cell blocks over a deployment.
+
+    The bounding box of ``positions`` (in cell coordinates, cell side
+    from :class:`~repro.graph.cellgrid.CellGrid` for ``radius``) is
+    split into ``sx`` runs of columns times ``sy`` runs of rows, as
+    evenly as integer division allows; shard ids are row-major
+    (``sid = by * sx + bx``).  Points outside the bounding box clamp
+    into it, so every position maps to exactly one owning shard even
+    after nodes wander past the box the grid was built from.
+    """
+
+    def __init__(
+        self,
+        positions: Dict[int, Point],
+        radius: float,
+        shape: Tuple[int, int] = (2, 2),
+        halo_cells: int = 2,
+    ) -> None:
+        sx, sy = shape
+        if sx < 1 or sy < 1:
+            raise ValueError(f"shard shape must be >= 1x1, got {sx}x{sy}")
+        if halo_cells < 0:
+            raise ValueError(f"halo_cells must be >= 0, got {halo_cells}")
+        self.shape = (int(sx), int(sy))
+        self.halo_cells = int(halo_cells)
+        self.cell_size = CellGrid(radius).cell_size
+        cells = [self._cell_of(p) for p in positions.values()]
+        if cells:
+            self._min_cx = min(cx for cx, _cy in cells)
+            self._max_cx = max(cx for cx, _cy in cells)
+            self._min_cy = min(cy for _cx, cy in cells)
+            self._max_cy = max(cy for _cx, cy in cells)
+        else:
+            self._min_cx = self._max_cx = 0
+            self._min_cy = self._max_cy = 0
+        self._x_starts = self._splits(self._max_cx - self._min_cx + 1, sx)
+        self._y_starts = self._splits(self._max_cy - self._min_cy + 1, sy)
+
+    @staticmethod
+    def _splits(extent: int, blocks: int) -> List[int]:
+        """Start offsets of ``blocks`` balanced runs over ``extent`` cells.
+
+        Returns ``blocks + 1`` offsets (the last equals ``extent``); run
+        ``i`` covers offsets ``[starts[i], starts[i+1])``.  The first
+        ``extent % blocks`` runs get the extra cell, so the partition is
+        deterministic and independent of the data.
+        """
+        base, extra = divmod(extent, blocks)
+        starts = [0]
+        for index in range(blocks):
+            starts.append(starts[-1] + base + (1 if index < extra else 0))
+        return starts
+
+    @property
+    def shard_count(self) -> int:
+        """Total number of shards (``sx * sy``)."""
+        return self.shape[0] * self.shape[1]
+
+    def _cell_of(self, p: Point) -> Tuple[int, int]:
+        return (
+            math.floor(p.x / self.cell_size),
+            math.floor(p.y / self.cell_size),
+        )
+
+    def _clamped_offsets(self, p: Point) -> Tuple[int, int]:
+        """``p``'s cell as offsets into the bounding box, clamped."""
+        cx, cy = self._cell_of(p)
+        cx = min(max(cx, self._min_cx), self._max_cx)
+        cy = min(max(cy, self._min_cy), self._max_cy)
+        return cx - self._min_cx, cy - self._min_cy
+
+    @staticmethod
+    def _block_of(offset: int, starts: List[int]) -> int:
+        """The run index whose ``[start, next_start)`` holds ``offset``.
+
+        Zero-width runs (more blocks than cells) are skipped in favour of
+        the first run that actually covers the offset.
+        """
+        for index in range(len(starts) - 1):
+            if starts[index] <= offset < starts[index + 1]:
+                return index
+        return len(starts) - 2
+
+    def owner_of(self, p: Point) -> int:
+        """The shard whose core block contains ``p`` (clamped)."""
+        ox, oy = self._clamped_offsets(p)
+        bx = self._block_of(ox, self._x_starts)
+        by = self._block_of(oy, self._y_starts)
+        return by * self.shape[0] + bx
+
+    def touching(self, p: Point) -> Tuple[int, ...]:
+        """All shards whose core + halo contains ``p``, sorted by id.
+
+        Always includes :meth:`owner_of`; additional entries are the
+        neighbouring shards whose halo reaches ``p``'s cell — the shards
+        that must also re-decide ``p``'s node when a nearby flip dirties
+        it (cross-shard handoff).
+        """
+        ox, oy = self._clamped_offsets(p)
+        halo = self.halo_cells
+        sx, sy = self.shape
+        xs = self._x_starts
+        ys = self._y_starts
+        hit: List[int] = []
+        for by in range(sy):
+            if ys[by] == ys[by + 1]:
+                continue  # zero-width block: owns no cells, gets no work
+            if not (ys[by] - halo <= oy <= ys[by + 1] - 1 + halo):
+                continue
+            for bx in range(sx):
+                if xs[bx] == xs[bx + 1]:
+                    continue
+                if xs[bx] - halo <= ox <= xs[bx + 1] - 1 + halo:
+                    hit.append(by * sx + bx)
+        return tuple(hit)
+
+    def core_bounds(self, sid: int) -> Tuple[Tuple[int, int], Tuple[int, int]]:
+        """Inclusive absolute cell bounds ``((cx0, cy0), (cx1, cy1))`` of
+        shard ``sid``'s core block (``cx1 < cx0`` for zero-width blocks).
+        """
+        if not 0 <= sid < self.shard_count:
+            raise ValueError(f"shard id out of range: {sid}")
+        by, bx = divmod(sid, self.shape[0])
+        return (
+            (
+                self._min_cx + self._x_starts[bx],
+                self._min_cy + self._y_starts[by],
+            ),
+            (
+                self._min_cx + self._x_starts[bx + 1] - 1,
+                self._min_cy + self._y_starts[by + 1] - 1,
+            ),
+        )
+
+    def assign(self, positions: Dict[int, Point]) -> ShardAssignment:
+        """Pin every node's owner and routed-shard tuple from ``positions``.
+
+        Iterates ``positions`` in insertion order, so the resulting
+        tables are byte-stable for a given deployment.
+        """
+        owner: Dict[int, int] = {}
+        routed: Dict[int, Tuple[int, ...]] = {}
+        for node, p in positions.items():
+            owner[node] = self.owner_of(p)
+            routed[node] = self.touching(p)
+        return ShardAssignment(owner=owner, routed=routed)

@@ -90,6 +90,15 @@ class InstrumentationCounters:
     #: Service decision-cache hits: forward/designate decisions reused
     #: across messages within one topology epoch.
     forward_set_reuses: int = 0
+    # experiments/sharded.py (sharded mobility driver)
+    #: Re-decisions summed over shards — handoff copies included, so
+    #: this is >= the serial sweep's dirty-set total.
+    shard_redecides: int = 0
+    #: Re-decision copies beyond each dirty node's first routed shard
+    #: (the cross-shard handoff volume).
+    shard_handoff_redecides: int = 0
+    #: Link flips whose endpoints' routed shard sets span >1 shard.
+    shard_boundary_flips: int = 0
     # sim/hello.py
     hello_messages: int = 0
     # sim/reliable.py

@@ -1,4 +1,4 @@
-"""The DET001–DET008 determinism rules, tuned to this codebase.
+"""The DET001–DET010 determinism rules, tuned to this codebase.
 
 Every rule encodes one invariant the reproduction's determinism contract
 rests on (byte-identical sweeps at any ``--jobs N`` and either coverage
@@ -818,3 +818,90 @@ class DeltaLayerIntegrityRule(Rule):
     @staticmethod
     def _foreign_base(base: ast.AST) -> bool:
         return not (isinstance(base, ast.Name) and base.id in ("self", "cls"))
+
+
+@register
+class ShardStateIntegrityRule(Rule):
+    """DET010: shard-worker state poked from outside the shard driver."""
+
+    code = "DET010"
+    name = "shard-state-integrity"
+    description = (
+        "The sharded mobility driver's determinism contract (merged "
+        "forward sets byte-identical to the serial incremental path at "
+        "any worker count) holds only while every worker replica stays "
+        "in lockstep — advanced exclusively through the driver's own "
+        "step protocol.  Flags writes or mutator calls on the "
+        "_replica/_shard_metrics state of a foreign instance, del "
+        "statements on them, and calls to the private worker internals "
+        "(_sync_replica, _redecide) on a foreign receiver; route work "
+        "through run_sharded_mobility_sweep / run_sharded_trace "
+        "instead."
+    )
+
+    STATE_ATTRS = frozenset({"_replica", "_shard_metrics"})
+    PRIVATE_API = frozenset({"_sync_replica", "_redecide"})
+    MUTATORS = CacheMutationRule.MUTATORS
+
+    def applies_to(self, path: str) -> bool:
+        parts = path_parts(path)
+        # sharded.py owns the invariant; everywhere else must go
+        # through the public sweep entry points.
+        return "tests" not in parts and parts[-1:] != ("sharded.py",)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for target in targets:
+                    attribute = self._foreign(target, self.STATE_ATTRS)
+                    if attribute is not None:
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"write to {attribute} outside the shard "
+                            "driver desynchronises the worker replica; "
+                            "route work through the sharded sweep API",
+                        )
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    attribute = self._foreign(target, self.STATE_ATTRS)
+                    if attribute is not None:
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"del on {attribute} outside the shard driver "
+                            "drops worker state behind the pool's back",
+                        )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                if node.func.attr in self.PRIVATE_API and self._foreign_base(
+                    node.func.value
+                ):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"call to the private {node.func.attr}() on a "
+                        "foreign worker bypasses the step protocol; use "
+                        "the sharded sweep API",
+                    )
+                elif node.func.attr in self.MUTATORS:
+                    attribute = self._foreign(
+                        node.func.value, self.STATE_ATTRS
+                    )
+                    if attribute is not None:
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"{attribute}.{node.func.attr}() outside the "
+                            "shard driver desynchronises the worker "
+                            "replica",
+                        )
+
+    _foreign = DeltaLayerIntegrityRule._foreign
+    _foreign_base = staticmethod(DeltaLayerIntegrityRule._foreign_base)

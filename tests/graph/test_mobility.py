@@ -134,3 +134,26 @@ class TestMobilityStaleMetrics:
             view = local_view(second, center, 2, scheme, metrics=table)
             if newcomer in view.graph:
                 assert view.metrics[newcomer] == scheme.padding()
+
+
+class TestSnapshotDeltaFlipCount:
+    """``flip_count`` is the pre-computed per-step link-flip total."""
+
+    def test_flip_count_matches_edge_lists(self):
+        model = _model()
+        total = 0
+        for snap in model.snapshot_deltas(dt=2.0, count=8):
+            assert snap.flip_count == (
+                len(snap.added_edges) + len(snap.removed_edges)
+            )
+            total += snap.flip_count
+        assert total > 0, "fixture produced no link flips; test is vacuous"
+
+    def test_quiet_step_has_zero_flip_count(self):
+        model = _model()
+        # dt=0 moves nobody: the delta stream must report zero flips.
+        snap = next(model.snapshot_deltas(dt=0.0, count=1))
+        assert snap.flip_count == 0
+        assert snap.added_edges == ()
+        assert snap.removed_edges == ()
+        assert snap.report is None

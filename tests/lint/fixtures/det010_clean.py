@@ -1,0 +1,17 @@
+"""DET010 fixture: shard work flows through the public sweep API."""
+
+
+class OwnShard:
+    """A class may keep its own, unrelated replica bookkeeping."""
+
+    def __init__(self, topology, metrics):
+        self._replica = topology
+        self._shard_metrics = metrics
+
+    def refresh(self, topology):
+        self._replica = topology
+        self._shard_metrics = None
+
+
+def sweep(model, steps, dt, run_sharded_mobility_sweep):
+    return run_sharded_mobility_sweep(model, steps, dt, shards=(2, 2), jobs=2)

@@ -1,0 +1,8 @@
+"""DET010 fixture: shard-worker state poked from outside the driver."""
+
+
+def meddle(worker, fresh_topology):
+    worker._replica = fresh_topology  # flagged: replica swapped externally
+    worker._shard_metrics.clear()  # flagged: metric table wiped externally
+    del worker._replica  # flagged: replica dropped behind the pool's back
+    worker._sync_replica([], [])  # flagged: private step protocol, foreign

@@ -27,6 +27,7 @@ CASES = {
     "DET007": ("det007", "src/repro/metrics/sample.py", 2),
     "DET008": ("det008", "src/repro/sim/sample.py", 2),
     "DET009": ("det009", "src/repro/sim/sample.py", 4),
+    "DET010": ("det010", "src/repro/experiments/sample.py", 4),
 }
 
 
@@ -60,7 +61,7 @@ def test_rule_silent_on_clean_fixture(code):
 @pytest.mark.parametrize("code", sorted(CASES))
 def test_rule_out_of_scope_path_is_silent(code):
     """Path scoping: the flagged fixture is clean under a foreign path."""
-    if code in ("DET001", "DET003", "DET006", "DET009"):
+    if code in ("DET001", "DET003", "DET006", "DET009", "DET010"):
         pytest.skip("not path-scoped (applies everywhere it can match)")
     stem, _virtual_path, _expected = CASES[code]
     source = (FIXTURES / f"{stem}_flagged.py").read_text(encoding="utf-8")
