@@ -101,9 +101,10 @@ class FlipTrace:
     def to_jsonl_lines(self) -> List[str]:
         """The trace as JSONL lines: one header, then one line per step.
 
-        Node and step order follow the trace's own ordering, and floats
-        serialise via ``repr``, so ``from_jsonl_lines`` followed by
-        ``to_jsonl_lines`` reproduces the exact same bytes.
+        Node and step order follow the trace's own ordering, keys
+        serialise sorted, and floats serialise via ``repr``, so
+        ``from_jsonl_lines`` followed by ``to_jsonl_lines`` reproduces
+        the exact same bytes.
         """
         header = {
             "format": _FORMAT,
@@ -113,7 +114,7 @@ class FlipTrace:
                 str(node): [p.x, p.y] for node, p in self.positions.items()
             },
         }
-        lines = [json.dumps(header, separators=(",", ":"))]
+        lines = [json.dumps(header, separators=(",", ":"), sort_keys=True)]
         for entry in self.steps:
             lines.append(
                 json.dumps(
@@ -124,6 +125,7 @@ class FlipTrace:
                         "removed": [list(edge) for edge in entry.removed],
                     },
                     separators=(",", ":"),
+                    sort_keys=True,
                 )
             )
         return lines

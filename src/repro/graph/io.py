@@ -54,7 +54,7 @@ def network_to_json(network: UnitDiskGraph, indent: int = 2) -> str:
         },
         "topology": topology_to_dict(network.topology),
     }
-    return json.dumps(payload, indent=indent)
+    return json.dumps(payload, indent=indent, sort_keys=True)
 
 
 def network_from_json(text: str) -> UnitDiskGraph:

@@ -9,31 +9,72 @@ epoch-guarded cache mutation, and backend-qualified memo keys.  This
 package enforces them statically::
 
     python -m repro.lint src tests benchmarks
-    python -m repro.lint --check-baseline
+    python -m repro.lint --check-baseline --jobs 4
+    python -m repro.lint --sarif detlint.sarif
     repro-lint --list-rules
+
+Two rule families run over one shared parse:
+
+* the per-file rules DET001–DET010 (a single module's AST), which the
+  ``--jobs N`` fork pool fans out with deterministically merged output;
+* the project rules DET011–DET014, which consume the whole-run
+  :class:`~repro.lint.project.Project` graph — symbol table with
+  import-alias resolution (``lint/symtab.py``), project call graph
+  (``lint/callgraph.py``), and the flow-sensitive seed-lineage
+  analysis (``lint/lineage.py``) classifying every
+  ``random.Random(...)`` site as sha256-derived, literal, or unknown.
 
 Everything is stdlib-only (``ast`` + ``argparse``); see
 ``docs/API.md`` ("Static analysis") for the rule catalogue, the
-``# detlint: disable=DETxxx`` pragma syntax, and how to regenerate the
-committed ``detlint_baseline.json``.
+``# detlint: disable=DETxxx`` pragma syntax, the SARIF/code-scanning
+walkthrough, and how to regenerate the committed
+``detlint_baseline.json``.
 """
 
 from .baseline import fingerprint_findings, load_baseline, write_baseline
-from .engine import iter_python_files, lint_paths, lint_source
+from .engine import (
+    LintRun,
+    PragmaUse,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    lint_sources,
+    run_paths,
+    run_sources,
+)
 from .findings import Finding
-from .registry import LintContext, Rule, all_rules, get_rule
-from . import rules  # noqa: F401  — importing registers the DET rules.
+from .project import Project
+from .registry import (
+    LintContext,
+    ProjectRule,
+    Rule,
+    all_rules,
+    get_rule,
+    per_file_rules,
+)
+from .sarif import render_sarif
+from . import rules  # noqa: F401  — importing registers DET001–DET010.
+from . import project_rules as _project_rules  # noqa: F401  — DET011–DET014.
 
 __all__ = [
     "Finding",
     "LintContext",
+    "LintRun",
+    "PragmaUse",
+    "Project",
+    "ProjectRule",
     "Rule",
     "all_rules",
     "get_rule",
+    "per_file_rules",
     "lint_source",
+    "lint_sources",
     "lint_paths",
+    "run_sources",
+    "run_paths",
     "iter_python_files",
     "fingerprint_findings",
     "load_baseline",
     "write_baseline",
+    "render_sarif",
 ]

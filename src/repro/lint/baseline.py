@@ -78,7 +78,8 @@ def write_baseline(path: str, findings: Sequence[Finding]) -> None:
     ]
     payload = {"version": BASELINE_VERSION, "findings": entries}
     Path(path).write_text(
-        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
     )
 
 

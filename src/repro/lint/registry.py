@@ -17,8 +17,11 @@ from .findings import Finding
 __all__ = [
     "LintContext",
     "Rule",
+    "ProjectRule",
     "register",
     "all_rules",
+    "per_file_rules",
+    "project_rules",
     "get_rule",
     "path_parts",
 ]
@@ -101,6 +104,28 @@ class Rule:
         return bool(set(parts[:-1]) & set(names))
 
 
+class ProjectRule(Rule):
+    """Base class for rules that analyse the whole project graph.
+
+    Per-file rules see one :class:`LintContext`; project rules see the
+    :class:`~repro.lint.project.Project` built once per run (symbol
+    table, call graph, seed lineage) and may emit findings against any
+    file in it.  :meth:`applies_to` still narrows by path — the engine
+    and the rule itself consult it before attributing a finding to a
+    file — but the *analysis* always spans every parsed module, which
+    is what lets DET011 trace a seed through an import alias into
+    another file.
+    """
+
+    def check(self, ctx: LintContext) -> Iterable[Finding]:
+        """Project rules produce nothing in the per-file pass."""
+        return ()
+
+    def check_project(self, project) -> Iterable[Finding]:
+        """Yield findings over the whole project (override)."""
+        raise NotImplementedError
+
+
 _REGISTRY: Dict[str, Rule] = {}
 
 
@@ -118,6 +143,16 @@ def register(cls: type) -> type:
 def all_rules() -> List[Rule]:
     """Every registered rule, sorted by code."""
     return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def per_file_rules() -> List[Rule]:
+    """Registered rules that run file-by-file, sorted by code."""
+    return [r for r in all_rules() if not isinstance(r, ProjectRule)]
+
+
+def project_rules() -> List[Rule]:
+    """Registered whole-project rules, sorted by code."""
+    return [r for r in all_rules() if isinstance(r, ProjectRule)]
 
 
 def get_rule(code: str) -> Rule:

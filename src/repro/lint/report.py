@@ -1,14 +1,17 @@
-"""Human and JSON reporters for detlint runs."""
+"""Human, JSON, and ``--stats`` reporters for detlint runs."""
 
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Sequence, TextIO
+from typing import TYPE_CHECKING, Dict, List, Sequence, TextIO
 
 from .findings import Finding
 from .registry import all_rules
 
-__all__ = ["render_human", "render_json", "render_rule_list"]
+if TYPE_CHECKING:  # pragma: no cover — type-only import
+    from .engine import LintRun
+
+__all__ = ["render_human", "render_json", "render_rule_list", "render_stats"]
 
 
 def render_human(
@@ -50,7 +53,7 @@ def render_json(
         "baselined": [finding.to_dict() for finding in accepted],
         "stale_baseline_entries": list(stale),
     }
-    json.dump(payload, stream, indent=2)
+    json.dump(payload, stream, indent=2, sort_keys=True)
     stream.write("\n")
 
 
@@ -59,6 +62,45 @@ def render_rule_list(stream: TextIO) -> None:
     for rule in all_rules():
         stream.write(f"{rule.code}  {rule.name}\n")
         stream.write(f"    {rule.description}\n")
+
+
+def render_stats(
+    stream: TextIO, run: "LintRun", baseline_size: int
+) -> bool:
+    """The ``--stats`` subreport; returns True when any pragma is stale.
+
+    Reports per-rule counts over the run's (post-suppression) findings,
+    every pragma with its suppression hit count and ``file:line``
+    location, and the committed baseline size.  A pragma that
+    suppressed zero findings is *stale* — the violation it excused is
+    gone (or the pragma never matched) and it should be deleted; the
+    CLI turns stale pragmas into exit code 3 under ``--stats``.
+    """
+    stale = run.stale_pragmas()
+    stream.write("detlint stats:\n")
+    counts: Dict[str, int] = {}
+    for finding in run.findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    if counts:
+        stream.write("  findings by rule:\n")
+        for code in sorted(counts):
+            stream.write(f"    {code}: {counts[code]}\n")
+    else:
+        stream.write("  findings by rule: none\n")
+    stream.write(
+        f"  pragmas: {len(run.pragmas)} total, {len(stale)} stale\n"
+    )
+    for pragma in run.pragmas:
+        marker = "  [stale]" if pragma.hits == 0 else ""
+        stream.write(
+            f"    {pragma.path}:{pragma.line} {pragma.label()} "
+            f"suppressed {pragma.hits} finding(s){marker}\n"
+        )
+    stream.write(
+        f"  baseline: {baseline_size} "
+        f"entr{'y' if baseline_size == 1 else 'ies'}\n"
+    )
+    return bool(stale)
 
 
 def count_by_rule(findings: Sequence[Finding]) -> List[str]:

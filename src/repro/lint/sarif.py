@@ -1,0 +1,89 @@
+"""SARIF 2.1.0 output for GitHub code-scanning annotations.
+
+``render_sarif`` serializes the run's *new* findings (baselined ones
+are accepted debt and stay out of code scanning) into the Static
+Analysis Results Interchange Format consumed by
+``github/codeql-action/upload-sarif``.  The document is dumped with
+``sort_keys=True`` and a fixed indent, and findings arrive pre-sorted
+from the engine — so SARIF bytes, like JSON report bytes, are
+identical at any ``--jobs`` worker count.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from .baseline import fingerprint_findings
+from .findings import Finding
+from .registry import all_rules
+
+__all__ = ["render_sarif", "SARIF_VERSION", "SARIF_SCHEMA"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+TOOL_VERSION = "2.0.0"
+FINGERPRINT_KEY = "detlintFingerprint/v1"
+
+
+def _rule_descriptors() -> List[Dict[str, object]]:
+    return [
+        {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.name},
+            "fullDescription": {"text": rule.description},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in all_rules()
+    ]
+
+
+def render_sarif(new: Sequence[Finding]) -> str:
+    """The SARIF 2.1.0 document for ``new`` findings, as a string."""
+    rule_index = {rule.code: i for i, rule in enumerate(all_rules())}
+    results: List[Dict[str, object]] = []
+    for finding, fingerprint in fingerprint_findings(new):
+        result: Dict[str, object] = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": max(finding.line, 1),
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {FINGERPRINT_KEY: fingerprint},
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        results.append(result)
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "detlint",
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/API.md"
+                        ),
+                        "version": TOOL_VERSION,
+                        "rules": _rule_descriptors(),
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

@@ -18,6 +18,8 @@ so the dissemination cost directly reflects the MPR forward sets.
 
 from __future__ import annotations
 
+import hashlib
+import itertools
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
@@ -26,7 +28,25 @@ from ..algorithms.mpr import MultipointRelay
 from ..graph.topology import Topology
 from ..sim.engine import BroadcastSession, SimulationEnvironment
 
-__all__ = ["LinkStateNode", "LinkStateRouting"]
+__all__ = ["LinkStateNode", "LinkStateRouting", "linkstate_seed"]
+
+#: Monotone sequence distinguishing same-process default-seeded routers.
+_ROUTER_SEQUENCE = itertools.count()
+
+
+def linkstate_seed(sequence: int) -> int:
+    """The documented default-RNG seed of one :class:`LinkStateRouting`.
+
+    ``sha256("LinkStateRouting|{sequence}")`` truncated to 64 bits — the
+    same derivation as :func:`repro.sim.engine.session_seed`, under a
+    routing-specific tag so TC-flood backoff draws never correlate with
+    engine or workload streams.  A shared fixed default (the old
+    ``Random(0)``) made every default-constructed router in a process
+    replay the identical flood schedule; pass an explicit ``rng`` for
+    cross-process reproducibility.
+    """
+    digest = hashlib.sha256(f"LinkStateRouting|{sequence}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
 
 Edge = Tuple[int, int]
 
@@ -73,7 +93,9 @@ class LinkStateRouting:
 
     def __init__(self, graph: Topology, rng: Optional[random.Random] = None):
         self.graph = graph
-        self.rng = rng or random.Random(0)
+        self.rng = rng or random.Random(
+            linkstate_seed(next(_ROUTER_SEQUENCE))
+        )
         self.env = SimulationEnvironment(graph)
         self.nodes: Dict[int, LinkStateNode] = {
             node: LinkStateNode(node) for node in graph.nodes()

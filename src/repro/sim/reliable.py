@@ -27,6 +27,8 @@ events on the session's bus and tallied into the active
 
 from __future__ import annotations
 
+import hashlib
+import itertools
 import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
@@ -38,7 +40,28 @@ from .engine import BroadcastOutcome, BroadcastSession, SimulationEnvironment
 from .events import NULL_BUS, Deliver, Drop, EventBus, Nack, Transmit
 from .mac import IdealMac, MacModel
 
-__all__ = ["ReliableOutcome", "ReliableBroadcastSession"]
+__all__ = ["ReliableOutcome", "ReliableBroadcastSession", "reliable_seed"]
+
+#: Monotone sequence distinguishing same-process default-seeded sessions.
+_SESSION_SEQUENCE = itertools.count()
+
+
+def reliable_seed(sequence: int) -> int:
+    """The documented default-RNG seed of one :class:`ReliableBroadcastSession`.
+
+    ``sha256("ReliableBroadcastSession|{sequence}")`` truncated to 64
+    bits — the same derivation as
+    :func:`repro.sim.engine.session_seed`, under a recovery-specific tag
+    so lossy-MAC and backoff draws never correlate with other streams.
+    A shared fixed default (the old ``Random(0)``) made every
+    default-seeded recovery session in a process replay the identical
+    loss pattern; pass an explicit ``rng`` for cross-process
+    reproducibility.
+    """
+    digest = hashlib.sha256(
+        f"ReliableBroadcastSession|{sequence}".encode()
+    ).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 @dataclass
@@ -81,7 +104,9 @@ class ReliableBroadcastSession:
         self.env = env
         self.protocol = protocol
         self.source = source
-        self.rng = rng or random.Random(0)
+        self.rng = rng or random.Random(
+            reliable_seed(next(_SESSION_SEQUENCE))
+        )
         self.mac = mac or IdealMac()
         self.max_rounds = max_rounds
         self.bus = bus or NULL_BUS

@@ -18,6 +18,8 @@ rejected here.
 
 from __future__ import annotations
 
+import hashlib
+import itertools
 import random
 from typing import Dict, List, Optional, Set
 
@@ -37,9 +39,27 @@ from .events import (
 from .packet import Packet
 from .trace import TraceRecorder
 
-__all__ = ["run_round_broadcast"]
+__all__ = ["round_seed", "run_round_broadcast"]
 
 _SUPPORTED = (Timing.STATIC, Timing.FIRST_RECEIPT)
+
+#: Monotone sequence distinguishing same-process default-seeded runs.
+_ROUND_SEQUENCE = itertools.count()
+
+
+def round_seed(sequence: int) -> int:
+    """The documented default-RNG seed of one :func:`run_round_broadcast`.
+
+    ``sha256("run_round_broadcast|{sequence}")`` truncated to 64 bits —
+    the same derivation as :func:`repro.sim.engine.session_seed`, under
+    an executor-specific tag so wave-executor draws never correlate
+    with discrete-event backoff streams.  A shared fixed default (the
+    old ``Random(0)``) made every default-seeded wave run in a process
+    draw identically; pass an explicit ``rng`` for cross-process
+    reproducibility.
+    """
+    digest = hashlib.sha256(f"run_round_broadcast|{sequence}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 def run_round_broadcast(
@@ -67,7 +87,7 @@ def run_round_broadcast(
         )
     if source not in env.graph:
         raise KeyError(f"source {source} not in the deployment graph")
-    rng = rng or random.Random(0)
+    rng = rng or random.Random(round_seed(next(_ROUND_SEQUENCE)))
     if bus is None:
         bus = RecordingBus() if collect_trace else NULL_BUS
     graph = env.graph

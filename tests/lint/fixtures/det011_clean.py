@@ -1,0 +1,29 @@
+"""DET011 clean fixture: sha256-derived and parameter-fed seeds only."""
+
+import hashlib
+import itertools
+import random
+
+_SEQ = itertools.count()
+
+
+def sample_seed(sequence):
+    digest = hashlib.sha256(f"Sample|{sequence}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def fresh():
+    return random.Random(sample_seed(next(_SEQ)))
+
+
+def derived(rng=None):
+    rng = rng or random.Random(sample_seed(next(_SEQ)))
+    return random.Random(rng.getrandbits(32))
+
+
+def explicit(seed):
+    return random.Random(seed)
+
+
+def tweaked():
+    return random.Random(sample_seed(0) ^ 1)

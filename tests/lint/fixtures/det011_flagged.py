@@ -1,0 +1,23 @@
+"""DET011 fixture: literal / ambient seed lineage in a sim module."""
+
+import random
+
+SHARED = random.Random(7)  # flagged: module-level literal seed
+
+
+def run(rng=random.Random(13)):  # flagged: literal seed in a default arg
+    return rng.getrandbits(32)
+
+
+def fallback(rng=None):
+    rng = rng or random.Random(0)  # flagged: literal through the BoolOp
+    return rng
+
+
+def flow():
+    seed = 42
+    return random.Random(seed)  # flagged: literal through local flow
+
+
+def ambient():
+    return random.Random()  # flagged: ambient (OS-entropy) seeding

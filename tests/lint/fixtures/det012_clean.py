@@ -1,0 +1,14 @@
+"""DET012 clean fixture: the clock is threaded through as a parameter."""
+
+
+def _stamp(clock):
+    return clock()
+
+
+def record_round(state, now):
+    state.append(now)
+    return state
+
+
+def drive(state, clock):
+    return record_round(state, _stamp(clock))

@@ -1,0 +1,21 @@
+"""DET012 fixture: sim functions transitively reaching the wall clock.
+
+The ``import time as clock`` alias defeats the purely syntactic DET002
+check on purpose — only the symbol table resolves ``clock.time`` back to
+``time.time``, so every finding here is DET012's alone.
+"""
+
+import time as clock
+
+
+def _stamp():
+    return clock.time()  # the direct sink: skipped (one hop)
+
+
+def record_round(state):
+    state.append(_stamp())  # flagged: record_round -> _stamp -> time.time
+    return state
+
+
+def drive(state):
+    return record_round(state)  # flagged: drive -> record_round -> _stamp

@@ -1,0 +1,16 @@
+"""DET013 clean fixture: frozen, ordered payloads across the boundary."""
+
+import multiprocessing  # noqa: F401  — arms the fork-boundary rule
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StepReport:
+    step: int
+
+
+def scatter(conn, queue, items):
+    conn.send(StepReport(1))
+    queue.put(tuple(items))
+    queue.put_nowait((1, 2))
+    conn.send(None)

@@ -1,0 +1,15 @@
+"""DET013 fixture: unpicklable / unordered payloads cross the fork boundary."""
+
+import multiprocessing  # noqa: F401  — arms the fork-boundary rule
+
+
+class StepReport:
+    def __init__(self, step):
+        self.step = step
+
+
+def scatter(conn, queue, items):
+    conn.send(StepReport(1))  # flagged: non-frozen project class
+    queue.put({item for item in items})  # flagged: set comprehension
+    queue.put_nowait(lambda: items)  # flagged: lambda
+    conn.send(locals())  # flagged: locals()

@@ -1,0 +1,14 @@
+"""DET014 clean fixture: sorted keys and repr/format for floats."""
+
+import json
+
+
+def emit(stream, step, value):
+    payload = {"step": step, "value": value}
+    stream.write(json.dumps(payload, sort_keys=True) + "\n")
+    stream.write(
+        json.dumps({"step": step}, sort_keys=True, separators=(",", ":"))
+        + "\n"
+    )
+    stream.write(repr(1.5))
+    stream.write(format(float(value), ".17g"))

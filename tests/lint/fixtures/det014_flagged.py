@@ -1,0 +1,12 @@
+"""DET014 fixture: byte-unstable JSONL emission."""
+
+import json
+
+
+def emit(stream, step, value):
+    payload = {"step": step, "value": value}
+    stream.write(json.dumps(payload) + "\n")  # flagged: unsorted dict dump
+    stream.write(json.dumps({"step": step}) + "\n")  # flagged: dict literal
+    stream.write(str(1.5))  # flagged: str() of a float constant
+    scale = float(value)
+    stream.write(str(scale))  # flagged: str() of an evident float

@@ -95,6 +95,83 @@ def test_fingerprints_survive_line_drift():
     assert [fp for _f, fp in original] == [fp for _f, fp in drifted]
 
 
+#: One line tripping two different rules (DET007 sum-over-set and
+#: DET001 list-from-unordered) — exercises multi-code disable lists.
+TWO_RULE_LINE = (
+    "def agg(vals):\n"
+    "    out = [sum({1.0, 2.0}), [v for v in {3.0, 4.0}]]\n"
+    "    return out\n"
+)
+METRICS_PATH = "src/repro/metrics/sample.py"
+
+
+def test_two_rule_line_fires_both_rules():
+    findings = lint_source(TWO_RULE_LINE, METRICS_PATH)
+    assert sorted(f.rule for f in findings) == ["DET001", "DET007"]
+
+
+def test_multi_rule_disable_list_suppresses_every_listed_rule():
+    source = TWO_RULE_LINE.replace(
+        "]]", "]]  # detlint: disable=DET001,DET007"
+    )
+    assert lint_source(source, METRICS_PATH) == []
+
+
+def test_multi_rule_disable_list_leaves_unlisted_rules():
+    source = TWO_RULE_LINE.replace(
+        "]]", "]]  # detlint: disable=DET003,DET007"
+    )
+    assert [f.rule for f in lint_source(source, METRICS_PATH)] == ["DET001"]
+
+
+def test_skip_file_after_first_statement_does_not_skip():
+    """skip-file is a header pragma: buried later it must not disarm."""
+    source = AMBIENT + "# detlint: skip-file\n"
+    assert [f.rule for f in lint_source(source, SIM_PATH)] == ["DET002"]
+
+
+def test_skip_file_on_first_statement_line_skips():
+    source = AMBIENT.replace(
+        "import time", "import time  # detlint: skip-file"
+    )
+    assert lint_source(source, SIM_PATH) == []
+
+
+def test_skip_file_after_docstring_still_skips():
+    source = '"""Module doc."""\n# detlint: skip-file\n' + AMBIENT
+    assert lint_source(source, SIM_PATH) == []
+
+
+def test_continuation_line_pragma_covers_the_statement():
+    """A pragma on any physical line of a statement suppresses it."""
+    source = (
+        "import time\n"
+        "\n"
+        "\n"
+        "def stamp():\n"
+        "    return time.time() + sum(\n"
+        "        [1.0]\n"
+        "    )  # detlint: disable=DET002\n"
+    )
+    assert lint_source(source, SIM_PATH) == []
+
+
+def test_continuation_line_pragma_scoped_to_its_statement():
+    """The continuation mapping must not leak to *other* statements."""
+    source = (
+        "import time\n"
+        "\n"
+        "\n"
+        "def stamp():\n"
+        "    a = time.time()\n"
+        "    b = sum(\n"
+        "        [1.0]\n"
+        "    )  # detlint: disable=DET002\n"
+        "    return a + b\n"
+    )
+    assert [f.line for f in lint_source(source, SIM_PATH)] == [5]
+
+
 def test_discovery_skips_fixture_corpus_and_pycache():
     repo = Path(__file__).resolve().parents[2]
     files = list(iter_python_files([str(repo / "tests" / "lint")]))

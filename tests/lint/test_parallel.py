@@ -1,0 +1,79 @@
+"""``--jobs N`` determinism: byte-identical reports at any worker count."""
+
+import io
+from pathlib import Path
+
+import pytest
+
+from repro.lint import render_sarif, run_paths
+from repro.lint.report import render_json
+
+REPO = Path(__file__).resolve().parents[2]
+
+#: A corpus with findings across several rules and files, so the merge
+#: actually has work to do (chunks are dealt round-robin to workers).
+CORPUS = {
+    "src/repro/sim/a.py": (
+        "import time\n\n\ndef stamp():\n    return time.time()\n"
+    ),
+    "src/repro/sim/b.py": (
+        "import random\n\nSHARED = random.Random(3)\n"
+    ),
+    "src/repro/metrics/c.py": (
+        "def agg(vals):\n    return sum({v for v in vals})\n"
+    ),
+    "src/repro/algorithms/d.py": (
+        "def collect(view, v):\n"
+        "    out = []\n"
+        "    for u in view.graph.neighbors(v):\n"
+        "        out.append(u)\n"
+        "    return out\n"
+    ),
+    "src/repro/sim/clean.py": "VALUE = 1\n",
+}
+
+
+def _materialise(tmp_path):
+    for rel, source in CORPUS.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source, encoding="utf-8")
+
+
+def _render(run):
+    buffer = io.StringIO()
+    render_json(buffer, run.findings, [], [], run.checked_files)
+    return buffer.getvalue()
+
+
+@pytest.mark.parametrize("jobs", [2, 3, 8])
+def test_jobs_match_serial_on_synthetic_corpus(tmp_path, monkeypatch, jobs):
+    _materialise(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    serial = run_paths(["src"], jobs=1)
+    forked = run_paths(["src"], jobs=jobs)
+    assert serial.findings, "corpus must produce findings"
+    assert forked.findings == serial.findings
+    assert forked.checked_files == serial.checked_files
+    assert forked.pragmas == serial.pragmas
+    assert _render(forked) == _render(serial)
+    assert render_sarif(forked.findings) == render_sarif(serial.findings)
+
+
+def test_jobs_exceeding_file_count(tmp_path, monkeypatch):
+    _materialise(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    serial = run_paths(["src"], jobs=1)
+    flooded = run_paths(["src"], jobs=32)
+    assert flooded.findings == serial.findings
+
+
+def test_jobs_match_serial_on_real_subtree(monkeypatch):
+    monkeypatch.chdir(REPO)
+    roots = ["src/repro/graph", "src/repro/lint"]
+    serial = run_paths(roots, jobs=1)
+    forked = run_paths(roots, jobs=2)
+    assert serial.checked_files > 0
+    assert forked.findings == serial.findings
+    assert forked.checked_files == serial.checked_files
+    assert _render(forked) == _render(serial)

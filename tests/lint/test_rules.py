@@ -28,6 +28,10 @@ CASES = {
     "DET008": ("det008", "src/repro/sim/sample.py", 2),
     "DET009": ("det009", "src/repro/sim/sample.py", 4),
     "DET010": ("det010", "src/repro/experiments/sample.py", 4),
+    "DET011": ("det011", "src/repro/sim/sample.py", 5),
+    "DET012": ("det012", "src/repro/sim/sample.py", 2),
+    "DET013": ("det013", "src/repro/experiments/sample.py", 4),
+    "DET014": ("det014", "src/repro/experiments/sample.py", 4),
 }
 
 
@@ -61,7 +65,15 @@ def test_rule_silent_on_clean_fixture(code):
 @pytest.mark.parametrize("code", sorted(CASES))
 def test_rule_out_of_scope_path_is_silent(code):
     """Path scoping: the flagged fixture is clean under a foreign path."""
-    if code in ("DET001", "DET003", "DET006", "DET009", "DET010"):
+    if code in (
+        "DET001",
+        "DET003",
+        "DET006",
+        "DET009",
+        "DET010",
+        "DET013",
+        "DET014",
+    ):
         pytest.skip("not path-scoped (applies everywhere it can match)")
     stem, _virtual_path, _expected = CASES[code]
     source = (FIXTURES / f"{stem}_flagged.py").read_text(encoding="utf-8")
