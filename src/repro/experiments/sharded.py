@@ -1,5 +1,5 @@
 """Sharded mobility driver: parallel dirty-region re-decides over one
-continuously running network.
+continuously running network, on O(core + halo) partial replicas.
 
 The serial incremental sweep (:func:`repro.experiments.runner.
 run_mobility_sweep` with ``incremental=True``) replays a mobile trace
@@ -9,48 +9,75 @@ parallelises that *within* the trace:
 
 * the deployment is partitioned into spatial shards
   (:class:`~repro.graph.sharding.ShardGrid` — contiguous cell blocks
-  with a ``k + metric_locality``-cell halo);
-* every worker process holds a **full topology replica**, forked from
-  the base snapshot and kept in lockstep by applying every step's
-  ``edge_flips`` through its own :meth:`Topology.apply_delta` — so any
-  worker's re-decision sees the true global graph, and shard geometry
-  governs only *which* worker re-decides *what*;
-* each step's dirty nodes are routed to every shard whose core + halo
-  contains them (pinned from the base positions).  Dirty balls that
-  cross a shard boundary are therefore re-decided by every touching
-  shard — the **cross-shard handoff** — and the merge keeps the entry
-  reported by the lowest routed shard id (the owner rule), which makes
-  the merged forward set deterministic by construction;
-* the expensive part — coverage-condition evaluation over extracted
-  k-hop views — is what actually fans out; delta application and
-  metric-table rebuilds are O(flips)/O(n) bookkeeping by comparison.
+  with a ``k + metric_locality``-cell routing halo);
+* every shard owns a :class:`~repro.graph.sharding.ShardSubgraph` — a
+  **partial replica** holding only the induced subgraph on the shard's
+  *universe* (core + a wider halo of ``routing halo + decision radius
+  + 1`` cells), under its own stable local
+  :class:`~repro.graph.nodeindex.NodeIndex`.  Workers host the shards
+  mapped to them by the pinned ``sid % workers`` affinity, so per-shard
+  replica state is identical at any worker count;
+* the parent routes each step's link flips to exactly the shards whose
+  universe contains **both** endpoints (an edge with an endpoint
+  outside the universe is not part of the induced subgraph), applied
+  via :meth:`Topology.apply_delta` on the partial replica — lockstep
+  apply-everything replication is gone;
+* each stale node is **evaluated exactly once**: the parent checks, per
+  routed shard, whether the node's decision ball of radius ``R = k +
+  max(metric_locality, metric_value_radius)`` lies inside that shard's
+  universe (an exact ``k_hop_mask`` containment test on the live
+  graph), ships the node to the lowest *eligible* routed shard, and
+  decides the rare node with no eligible shard itself on the global
+  graph.  ``shard_redecides``/``handoff_redecides`` report the
+  eligible-copy routing volume — the same statistic the full-replica
+  engine measured by actually re-deciding every copy;
+* the decision is exact on the partial replica because everything a
+  forward decision reads lives inside the universe: the k-hop view
+  needs ``ball(v, k)``, and each visible node ``u``'s metric value
+  needs the edges inside ``ball(u, metric_value_radius)`` ⊆ ``ball(v,
+  k + metric_value_radius)`` ⊆ ``ball(v, R)``.  Schemes whose values
+  are not locally computable (``metric_value_radius is None``, e.g.
+  the rank-ordered random-epoch draw) are rejected up front;
+* **dynamic re-homing**: the parent tracks per-shard owned-stale load
+  over a window; when the maximum shard load skews past
+  ``rehome_factor`` times the mean, it re-splits the grid with
+  per-axis dirty-weighted cell weights, extracts fresh subgraphs from
+  the *current* topology, and ships them folded into the next step
+  message (counted as ``shard_rehomes``; deterministic because the
+  trigger depends only on the trace).
 
-The determinism contract: for any shard grid and any worker count, the
-per-step forward sets are **byte-identical** to the single-process
-incremental path, because (a) the routed set equals the serial stale
-set exactly (same ``dirty_at`` radius, same first-step/flip-free/
-fallback cases), (b) every worker evaluates on an identical replica, so
-all copies of a handoff re-decision agree, and (c) the owner rule picks
-the canonical copy without looking at values.  ``jobs=1`` (or a
-platform without ``fork``) runs the same routing in-process.
+The determinism contract: for any shard grid, worker count, and
+re-home schedule, the per-step forward sets are **byte-identical** to
+the single-process incremental path, because (a) the stale set equals
+the serial stale set exactly, (b) every stale node is decided exactly
+once, on a replica equal to the induced current graph over a universe
+containing its whole decision ball (or by the parent on the global
+graph), and (c) the lowest-eligible-shard owner rule picks the
+evaluator without looking at values.  ``jobs=1`` (or a platform
+without ``fork``) hosts every shard replica in-process — the
+deduplicated short-circuit: owner-only shipping already evaluates each
+node once, with no pipe traffic.
 
-Workers communicate over pipes with task→worker affinity (shard ``s``
-lives on worker ``s % jobs`` for the whole sweep) — a plain task pool
-would lose the warm replica between steps.
+Workers communicate over pipes with shard→worker affinity (shard ``s``
+lives on worker ``s % workers`` for the whole sweep) — a plain task
+pool would lose the warm replicas between steps.  ``clamp=True``
+additionally caps workers at ``os.cpu_count()`` so an oversubscribed
+box degrades to the in-process pool instead of paying fork/pipe
+overhead for fake parallelism.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..core.priority import IdPriority, PriorityScheme
 from ..graph.fliptrace import FlipTrace
 from ..graph.geometry import Point
 from ..graph.mobility import RandomWaypointModel, SnapshotDelta
-from ..graph.sharding import ShardGrid
-from ..graph.topology import Topology
+from ..graph.sharding import ShardGrid, ShardSubgraph
 from ..graph.unit_disk import build_unit_disk_graph
 from ..instrument import InstrumentationCounters, collecting
 from ..instrument import _STACK as _COUNTER_STACK
@@ -64,6 +91,11 @@ __all__ = [
 
 Edge = Tuple[int, int]
 
+#: Per-shard step payload: ``(added, removed, stale_local)`` — the flips
+#: routed to the shard's universe (global ids) and the stale nodes it
+#: owns this step, as local bit positions.
+_ShardPayload = Tuple[Tuple[Edge, ...], Tuple[Edge, ...], Tuple[int, ...]]
+
 
 @dataclass(frozen=True)
 class ShardedStep:
@@ -72,10 +104,13 @@ class ShardedStep:
     ``forward`` and ``redecided`` are byte-identical to the serial
     incremental path's :class:`~repro.experiments.runner.MobilityStep`
     fields; the shard-specific fields expose the routing work:
-    ``shard_redecides`` counts re-decisions summed over shards (handoff
-    copies included), ``handoff_redecides`` the copies beyond each
-    node's first routed shard, and ``boundary_flips`` the flips whose
-    endpoints' routed shard sets span more than one shard.
+    ``shard_redecides`` counts eligible re-decision copies summed over
+    shards, ``handoff_redecides`` the copies beyond each node's first
+    eligible shard, ``boundary_flips`` the flips whose endpoints'
+    routed shard sets span more than one shard, ``parent_redecides``
+    the nodes no shard was eligible for (decided by the parent on the
+    global graph), and ``rehomed`` whether this step's load window
+    triggered a shard re-partition.
     """
 
     step: int
@@ -87,71 +122,161 @@ class ShardedStep:
     boundary_flips: int
     added_edges: int
     removed_edges: int
+    parent_redecides: int = 0
+    rehomed: bool = False
 
 
-class _ShardWorker:
-    """One worker's replica state: a full topology kept in lockstep.
+def _route_flips(
+    universes: Dict[int, Set[int]],
+    added: Tuple[Edge, ...],
+    removed: Tuple[Edge, ...],
+) -> Dict[int, Tuple[Tuple[Edge, ...], Tuple[Edge, ...]]]:
+    """Route flips to the shards whose universe holds both endpoints.
 
-    Lives either inside a forked child process or in-process (the
-    ``jobs=1`` / no-``fork`` fallback).  The replica is private to the
-    worker — DET010 flags any outside mutation of it — and is advanced
-    exclusively through :meth:`apply_step`, which mirrors the serial
-    sweep: apply this step's flips, drop the metric table if anything
-    flipped, then re-decide exactly the routed nodes.
+    Pure function of the universe tables and the flip lists: an edge
+    with an endpoint outside a shard's universe does not exist in that
+    shard's induced subgraph, so it is never shipped there.
+    """
+    routed: Dict[int, Tuple[Tuple[Edge, ...], Tuple[Edge, ...]]] = {}
+    for sid in sorted(universes):
+        members = universes[sid]
+        mine_added = tuple(
+            (u, v) for u, v in added if u in members and v in members
+        )
+        mine_removed = tuple(
+            (u, v) for u, v in removed if u in members and v in members
+        )
+        if mine_added or mine_removed:
+            routed[sid] = (mine_added, mine_removed)
+    return routed
+
+
+class _ShardReplica:
+    """One shard's partial replica plus its decision state.
+
+    The replica (a :class:`~repro.graph.sharding.ShardSubgraph`) and the
+    memoised metric table are private — DET010 flags any outside
+    mutation — and advance exclusively through :meth:`apply_step`,
+    which mirrors the serial sweep: apply this step's routed flips,
+    drop the metric table if anything flipped, then re-decide exactly
+    the owned stale nodes on the induced subgraph.
     """
 
     def __init__(
-        self, topology: Topology, scheme: PriorityScheme, k: int
+        self, subgraph: ShardSubgraph, scheme: PriorityScheme, k: int
     ) -> None:
-        self._replica = topology
+        self._replica = subgraph
         self._scheme = scheme
         self._k = k
         self._shard_metrics: Optional[Dict[int, Tuple[float, ...]]] = None
+
+    def __len__(self) -> int:
+        return len(self._replica)
+
+    def _install(self, subgraph: ShardSubgraph) -> None:
+        """Adopt a freshly extracted replica (re-home delivery)."""
+        self._replica = subgraph
+        self._shard_metrics = None
 
     def apply_step(
         self,
         added: Tuple[Edge, ...],
         removed: Tuple[Edge, ...],
-        nodes: Tuple[int, ...],
+        stale_local: Tuple[int, ...],
     ) -> List[Tuple[int, bool]]:
-        """Advance the replica one step and re-decide ``nodes``."""
+        """Advance the replica one step and re-decide the owned nodes.
+
+        Returns ``(global_id, forward)`` pairs — the local→global
+        translation happens here, so the merge layer never sees a
+        local index.
+        """
         self._sync_replica(added, removed)
-        return self._redecide(nodes)
+        return self._redecide(stale_local)
 
     def _sync_replica(
         self, added: Tuple[Edge, ...], removed: Tuple[Edge, ...]
     ) -> None:
         if added or removed:
-            self._replica.apply_delta(
-                added_edges=list(added), removed_edges=list(removed)
-            )
+            self._replica.apply_flips(added, removed)
             self._shard_metrics = None
 
-    def _redecide(self, nodes: Tuple[int, ...]) -> List[Tuple[int, bool]]:
-        if not nodes:
+    def _redecide(
+        self, stale_local: Tuple[int, ...]
+    ) -> List[Tuple[int, bool]]:
+        if not stale_local:
             return []
+        graph = self._replica.graph
         if self._shard_metrics is None:
-            self._shard_metrics = self._scheme.metrics(self._replica)
-        return [
-            (
-                node,
-                _forward_decision(
-                    self._replica, node, self._k, self._scheme,
-                    self._shard_metrics,
-                ),
+            self._shard_metrics = self._scheme.metrics(graph)
+        decided: List[Tuple[int, bool]] = []
+        for position in stale_local:
+            node = self._replica.to_global(position)
+            decided.append(
+                (
+                    node,
+                    _forward_decision(
+                        graph, node, self._k, self._scheme,
+                        self._shard_metrics,
+                    ),
+                )
             )
-            for node in nodes
-        ]
+        return decided
 
 
-def _shard_worker_main(conn, topology, scheme, k) -> None:
+class _ShardWorker:
+    """The shard replicas resident on one worker, stepped in sid order.
+
+    Lives either inside a forked child process or in-process (the
+    ``workers=1`` / no-``fork`` fallback, which hosts *every* shard).
+    """
+
+    def __init__(
+        self,
+        subgraphs: Dict[int, ShardSubgraph],
+        scheme: PriorityScheme,
+        k: int,
+    ) -> None:
+        self._replicas: Dict[int, _ShardReplica] = {
+            sid: _ShardReplica(subgraphs[sid], scheme, k)
+            for sid in sorted(subgraphs)
+        }
+
+    def _rehome(self, replacements: Dict[int, ShardSubgraph]) -> None:
+        for sid in sorted(replacements):
+            self._replicas[sid]._install(replacements[sid])
+
+    def apply_step(
+        self,
+        payloads: Dict[int, _ShardPayload],
+        rehome: Optional[Dict[int, ShardSubgraph]],
+    ) -> List[Tuple[int, bool]]:
+        """Install any re-home, advance every replica, decide, report.
+
+        Owner-only shipping guarantees the per-shard decision lists are
+        disjoint, so concatenating them in sid order is a merge.
+        """
+        if rehome:
+            self._rehome(rehome)
+        decided: List[Tuple[int, bool]] = []
+        for sid, replica in self._replicas.items():
+            added, removed, stale_local = payloads.get(sid, ((), (), ()))
+            decided.extend(replica.apply_step(added, removed, stale_local))
+        if _COUNTER_STACK and self._replicas:
+            peak = max(len(replica) for replica in self._replicas.values())
+            scope = _COUNTER_STACK[-1]
+            if peak > scope.replica_nodes_max:
+                scope.replica_nodes_max = peak
+        return decided
+
+
+def _shard_worker_main(conn, subgraphs, scheme, k) -> None:
     """Child-process loop: receive steps, answer with decisions.
 
     Counters collected during the step travel back as a plain dict and
     are merged into the parent's active scope, so instrumented sharded
     sweeps aggregate to the same totals as serial ones.
     """
-    worker = _ShardWorker(topology, scheme, k)
+    worker = _ShardWorker(subgraphs, scheme, k)
     while True:
         try:
             message = conn.recv()
@@ -159,31 +284,41 @@ def _shard_worker_main(conn, topology, scheme, k) -> None:
             break
         if message is None:
             break
-        step, added, removed, nodes = message
+        step, payloads, rehome = message
         with collecting() as counters:
-            decided = worker.apply_step(added, removed, nodes)
+            decided = worker.apply_step(payloads, rehome)
         conn.send((step, decided, counters.as_dict()))
     conn.close()
 
 
 class _ForkShardPool:
-    """Persistent fork-spawned workers with shard→worker affinity."""
+    """Persistent fork-spawned workers with shard→worker affinity.
+
+    Each child inherits its shards' subgraphs through ``fork`` (no
+    pickling on the way in); only re-home replacements travel the pipe,
+    in the compact :meth:`ShardSubgraph.__getstate__` form.
+    """
 
     def __init__(
         self,
         context,
-        topology: Topology,
+        subgraphs: Dict[int, ShardSubgraph],
         scheme: PriorityScheme,
         k: int,
         workers: int,
     ) -> None:
         self._procs = []
         self._conns = []
-        for _index in range(workers):
+        for index in range(workers):
+            mine = {
+                sid: subgraph
+                for sid, subgraph in subgraphs.items()
+                if sid % workers == index
+            }
             parent_conn, child_conn = context.Pipe()
             proc = context.Process(
                 target=_shard_worker_main,
-                args=(child_conn, topology, scheme, k),
+                args=(child_conn, mine, scheme, k),
                 daemon=True,
             )
             proc.start()
@@ -198,21 +333,32 @@ class _ForkShardPool:
     def step(
         self,
         step: int,
-        added: Tuple[Edge, ...],
-        removed: Tuple[Edge, ...],
-        nodes_by_worker: Dict[int, Tuple[int, ...]],
+        payloads: Dict[int, _ShardPayload],
+        rehome: Optional[Dict[int, ShardSubgraph]],
     ):
         """Fan one step out to every worker and gather the decisions.
 
-        Every worker receives the full flip lists (replicas advance in
-        lockstep even when no dirty node routed to them); only the
-        routed nodes differ per worker.  All sends complete before the
-        first receive, so workers compute concurrently.
+        A worker receives only its own shards' payloads (and, on a
+        re-home step, their fresh subgraphs).  All sends complete
+        before the first receive, so workers compute concurrently.
         """
+        workers = len(self._conns)
         for index, conn in enumerate(self._conns):
-            conn.send((step, added, removed, nodes_by_worker.get(index, ())))
-        decided: Dict[int, Dict[int, bool]] = {}
-        payloads: List[Dict[str, int]] = []
+            mine = {
+                sid: payload
+                for sid, payload in payloads.items()
+                if sid % workers == index
+            }
+            mine_rehome = None
+            if rehome:
+                mine_rehome = {
+                    sid: subgraph
+                    for sid, subgraph in rehome.items()
+                    if sid % workers == index
+                }
+            conn.send((step, mine, mine_rehome))
+        decided: Dict[int, bool] = {}
+        counter_payloads: List[Dict[str, int]] = []
         for index, conn in enumerate(self._conns):
             try:
                 got_step, entries, counters = conn.recv()
@@ -226,9 +372,9 @@ class _ForkShardPool:
                     f"shard worker {index} answered step {got_step} "
                     f"while the driver was at step {step}"
                 )
-            decided[index] = dict(entries)
-            payloads.append(counters)
-        return decided, payloads
+            decided.update(entries)
+            counter_payloads.append(counters)
+        return decided, counter_payloads
 
     def close(self) -> None:
         for conn in self._conns:
@@ -245,18 +391,22 @@ class _ForkShardPool:
 
 
 class _InlineShardPool:
-    """In-process fallback: one replica decides every routed node.
+    """In-process fallback hosting every shard replica.
 
-    Used for ``jobs=1`` and on platforms without the ``fork`` start
-    method.  Decisions are computed once over the deduplicated union of
-    all routed nodes and served under every worker index, so the
-    driver's merge logic is identical either way.
+    Used for ``workers=1`` (including clamped runs) and on platforms
+    without the ``fork`` start method.  Owner-only shipping is already
+    the deduplicated short-circuit — each stale node is decided once —
+    so the driver's merge logic is identical either way; counters land
+    directly in the parent's active scope (no payload round-trip).
     """
 
     def __init__(
-        self, topology: Topology, scheme: PriorityScheme, k: int
+        self,
+        subgraphs: Dict[int, ShardSubgraph],
+        scheme: PriorityScheme,
+        k: int,
     ) -> None:
-        self._worker = _ShardWorker(topology, scheme, k)
+        self._worker = _ShardWorker(subgraphs, scheme, k)
 
     @property
     def workers(self) -> int:
@@ -265,17 +415,11 @@ class _InlineShardPool:
     def step(
         self,
         step: int,
-        added: Tuple[Edge, ...],
-        removed: Tuple[Edge, ...],
-        nodes_by_worker: Dict[int, Tuple[int, ...]],
+        payloads: Dict[int, _ShardPayload],
+        rehome: Optional[Dict[int, ShardSubgraph]],
     ):
-        union: Dict[int, None] = {}
-        for index in sorted(nodes_by_worker):
-            for node in nodes_by_worker[index]:
-                union[node] = None
-        decided = dict(self._worker.apply_step(added, removed, tuple(union)))
-        served = {index: decided for index in nodes_by_worker}
-        return served, []
+        decided = dict(self._worker.apply_step(payloads, rehome))
+        return decided, []
 
     def close(self) -> None:
         """Nothing to tear down in-process."""
@@ -291,12 +435,64 @@ def _fork_context():
 
 
 def _open_pool(
-    topology: Topology, scheme: PriorityScheme, k: int, workers: int
+    subgraphs: Dict[int, ShardSubgraph],
+    scheme: PriorityScheme,
+    k: int,
+    workers: int,
 ):
     context = _fork_context() if workers > 1 else None
     if context is None:
-        return _InlineShardPool(topology, scheme, k)
-    return _ForkShardPool(context, topology, scheme, k, workers)
+        return _InlineShardPool(subgraphs, scheme, k)
+    return _ForkShardPool(context, subgraphs, scheme, k, workers)
+
+
+def _universe_members(
+    grid: ShardGrid,
+    positions: Dict[int, Point],
+    universe_halo: int,
+) -> Dict[int, List[int]]:
+    """Each shard's universe: nodes within ``universe_halo`` cells of
+    its core, listed in ``positions`` insertion order."""
+    members: Dict[int, List[int]] = {
+        sid: [] for sid in range(grid.shard_count)
+    }
+    for node, p in positions.items():
+        for sid in grid.touching(p, halo_cells=universe_halo):
+            members[sid].append(node)
+    return members
+
+
+def _rebalanced_grid(
+    grid: ShardGrid,
+    positions: Dict[int, Point],
+    radius: float,
+    shape: Tuple[int, int],
+    halo_cells: int,
+    dirty_counts: Dict[int, int],
+) -> ShardGrid:
+    """The same grid geometry re-split around the observed load.
+
+    Each node contributes ``1 + dirty_count`` (its load-window stale
+    count) to its cell's per-axis weight, so the weighted splits pull
+    shard boundaries toward the churn.  Deterministic: the weights are
+    a pure function of the trace prefix.
+    """
+    x_extent, y_extent = grid.extents
+    x_weights = [0.0] * x_extent
+    y_weights = [0.0] * y_extent
+    for node, p in positions.items():
+        ox, oy = grid.offsets_of(p)
+        weight = 1.0 + dirty_counts.get(node, 0)
+        x_weights[ox] += weight
+        y_weights[oy] += weight
+    return ShardGrid(
+        positions,
+        radius,
+        shape=shape,
+        halo_cells=halo_cells,
+        x_weights=x_weights,
+        y_weights=y_weights,
+    )
 
 
 def _sharded_sweep(
@@ -307,26 +503,70 @@ def _sharded_sweep(
     k: int,
     shards: Tuple[int, int],
     jobs: int,
+    clamp: bool,
+    rehome_factor: Optional[float],
 ) -> List[ShardedStep]:
     """The core driver: route, fan out, merge — one delta at a time."""
     locality = scheme.metric_locality
+    value_radius = scheme.metric_value_radius
+    if value_radius is None:
+        raise ValueError(
+            f"scheme {scheme.name!r} has metric_value_radius=None: its "
+            "metric values cannot be reproduced on a partial replica "
+            "(use the serial incremental sweep instead)"
+        )
+    if rehome_factor is not None and rehome_factor < 1:
+        raise ValueError(
+            f"rehome_factor must be >= 1 or None, got {rehome_factor}"
+        )
     dirty_radius = None if locality is None else k + locality
+    route_halo = k + (locality or 0)
+    decision_radius = k + max(locality or 0, value_radius)
+    # One extra cell of slack over the exact cell-distance bound; the
+    # per-node eligibility check below is exact, so the halo width only
+    # tunes how often the parent must fall back, never correctness.
+    universe_halo = route_halo + decision_radius + 1
     grid = ShardGrid(
-        base_positions,
-        radius,
-        shape=shards,
-        halo_cells=k + (locality or 0),
+        base_positions, radius, shape=shards, halo_cells=route_halo
     )
     assignment = grid.assign(base_positions)
     workers = max(1, min(jobs, grid.shard_count))
-    replica = build_unit_disk_graph(base_positions, radius).topology
-    pool = _open_pool(replica, scheme, k, workers)
-    workers = pool.workers
+    if clamp:
+        workers = max(1, min(workers, os.cpu_count() or 1))
+    base_graph = build_unit_disk_graph(base_positions, radius).topology
+    members = _universe_members(grid, base_positions, universe_halo)
+    subgraphs = {
+        sid: ShardSubgraph.extract(
+            sid, base_graph, mine, positions=base_positions
+        )
+        for sid, mine in members.items()
+    }
+    universe_sets = {sid: set(mine) for sid, mine in members.items()}
+    universe_masks: Dict[int, int] = {}
+    pool = _open_pool(subgraphs, scheme, k, workers)
     decisions: Dict[int, bool] = {}
+    parent_metrics: Optional[Dict[int, Tuple[float, ...]]] = None
+    pending_rehome: Optional[Dict[int, ShardSubgraph]] = None
+    window_loads = [0] * grid.shard_count
+    window_total = 0
+    dirty_counts: Dict[int, int] = {}
+    seen_first = False
     results: List[ShardedStep] = []
     try:
         for snap in deltas:
             graph = snap.graph.topology
+            added = tuple(snap.added_edges)
+            removed = tuple(snap.removed_edges)
+            if added or removed:
+                parent_metrics = None
+            if not universe_masks:
+                # Masks live under the replay graph's own node index so
+                # the eligibility comparison below is exact.
+                index = graph.node_index()
+                universe_masks = {
+                    sid: index.mask_of(mine)
+                    for sid, mine in universe_sets.items()
+                }
             if not decisions:
                 stale = list(graph.nodes())  # first step: all undecided
             elif snap.report is None:
@@ -335,45 +575,116 @@ def _sharded_sweep(
                 stale = list(graph.nodes())
             else:
                 stale = sorted(snap.report.dirty_at(dirty_radius))
-            by_worker: Dict[int, List[int]] = {}
-            owner_worker: Dict[int, int] = {}
+            flips_by_sid = _route_flips(universe_sets, added, removed)
+            stale_by_sid: Dict[int, List[int]] = {}
+            shipped: List[int] = []
+            parent_stale: List[int] = []
             shard_redecides = 0
             handoff = 0
             for node in stale:
-                sids = assignment.routed[node]
-                shard_redecides += len(sids)
-                handoff += len(sids) - 1
-                # Owner rule: the lowest routed shard id wins; its worker
-                # serves the canonical decision for this node.
-                owner_worker[node] = sids[0] % workers
-                routed_to = ()
-                for sid in sids:
-                    index = sid % workers
-                    if index in routed_to:
-                        continue  # shard co-located on an earlier worker
-                    routed_to += (index,)
-                    by_worker.setdefault(index, []).append(node)
+                ball = graph.k_hop_mask(node, decision_radius)
+                eligible = [
+                    sid
+                    for sid in assignment.routed[node]
+                    if ball & ~universe_masks[sid] == 0
+                ]
+                if eligible:
+                    shard_redecides += len(eligible)
+                    handoff += len(eligible) - 1
+                    # Owner rule: the lowest eligible shard id decides;
+                    # the node ships as its local bit position there.
+                    owner_sid = eligible[0]
+                    stale_by_sid.setdefault(owner_sid, []).append(
+                        subgraphs[owner_sid].to_local(node)
+                    )
+                    shipped.append(node)
+                else:
+                    parent_stale.append(node)
             boundary = 0
-            for edge in tuple(snap.added_edges) + tuple(snap.removed_edges):
+            for edge in added + removed:
                 spanned = set(assignment.routed[edge[0]])
                 spanned.update(assignment.routed[edge[1]])
                 if len(spanned) > 1:
                     boundary += 1
-            decided, payloads = pool.step(
-                snap.step,
-                tuple(snap.added_edges),
-                tuple(snap.removed_edges),
-                {index: tuple(nodes) for index, nodes in by_worker.items()},
+            payloads: Dict[int, _ShardPayload] = {}
+            for sid in set(flips_by_sid) | set(stale_by_sid):
+                sid_added, sid_removed = flips_by_sid.get(sid, ((), ()))
+                payloads[sid] = (
+                    sid_added,
+                    sid_removed,
+                    tuple(stale_by_sid.get(sid, ())),
+                )
+            decided, counter_payloads = pool.step(
+                snap.step, payloads, pending_rehome
             )
-            for node in stale:
-                decisions[node] = decided[owner_worker[node]][node]
+            pending_rehome = None
+            for node in shipped:
+                decisions[node] = decided[node]
+            if parent_stale:
+                if parent_metrics is None:
+                    parent_metrics = scheme.metrics(graph)
+                for node in parent_stale:
+                    decisions[node] = _forward_decision(
+                        graph, node, k, scheme, parent_metrics
+                    )
             if _COUNTER_STACK:
                 scope = _COUNTER_STACK[-1]
                 scope.shard_redecides += shard_redecides
                 scope.shard_handoff_redecides += handoff
                 scope.shard_boundary_flips += boundary
-                for payload in payloads:
+                for payload in counter_payloads:
                     scope.merge(InstrumentationCounters.from_dict(payload))
+            rehomed = False
+            if seen_first:
+                # The first step re-decides everyone regardless of the
+                # geometry; folding it into the load window would bias
+                # the first trigger toward the base node density.
+                for node in stale:
+                    window_loads[assignment.owner[node]] += 1
+                    dirty_counts[node] = dirty_counts.get(node, 0) + 1
+                window_total += len(stale)
+                if (
+                    rehome_factor is not None
+                    and grid.shard_count > 1
+                    and window_total >= grid.shard_count
+                    and max(window_loads) * grid.shard_count
+                    > rehome_factor * window_total
+                ):
+                    candidate = _rebalanced_grid(
+                        grid, base_positions, radius, shards, route_halo,
+                        dirty_counts,
+                    )
+                    if candidate.splits != grid.splits:
+                        rehomed = True
+                        grid = candidate
+                        assignment = grid.assign(base_positions)
+                        members = _universe_members(
+                            grid, base_positions, universe_halo
+                        )
+                        subgraphs = {
+                            sid: ShardSubgraph.extract(
+                                sid, graph, mine, positions=base_positions
+                            )
+                            for sid, mine in members.items()
+                        }
+                        universe_sets = {
+                            sid: set(mine) for sid, mine in members.items()
+                        }
+                        index = graph.node_index()
+                        universe_masks = {
+                            sid: index.mask_of(mine)
+                            for sid, mine in universe_sets.items()
+                        }
+                        pending_rehome = subgraphs
+                        if _COUNTER_STACK:
+                            _COUNTER_STACK[-1].shard_rehomes += 1
+                    # An unmoved split is not a re-home, but the window
+                    # resets either way so the trigger cannot re-fire
+                    # every step on the same skew.
+                    window_loads = [0] * grid.shard_count
+                    window_total = 0
+                    dirty_counts = {}
+            seen_first = True
             results.append(
                 ShardedStep(
                     step=snap.step,
@@ -385,8 +696,10 @@ def _sharded_sweep(
                     shard_redecides=shard_redecides,
                     handoff_redecides=handoff,
                     boundary_flips=boundary,
-                    added_edges=len(snap.added_edges),
-                    removed_edges=len(snap.removed_edges),
+                    added_edges=len(added),
+                    removed_edges=len(removed),
+                    parent_redecides=len(parent_stale),
+                    rehomed=rehomed,
                 )
             )
     finally:
@@ -407,16 +720,23 @@ def run_sharded_mobility_sweep(
     k: int = 2,
     shards: Tuple[int, int] = (2, 2),
     jobs: int = 1,
+    clamp: bool = True,
+    rehome_factor: Optional[float] = 4.0,
 ) -> List[ShardedStep]:
     """Sharded exact forward sets across a mobility trace.
 
     The sharded twin of :func:`~repro.experiments.runner.
     run_mobility_sweep` — same model, same per-step forward sets (the
     determinism contract in the module docstring), with the dirty-region
-    re-decisions fanned out over ``jobs`` fork workers across a
-    ``shards = (sx, sy)`` grid.  ``jobs`` is clamped to the shard count
-    (an idle worker would own no shard); callers wanting core-count
-    clamping do it at the CLI/benchmark layer.
+    re-decisions fanned out over ``jobs`` fork workers hosting
+    O(core + halo) partial replicas across a ``shards = (sx, sy)``
+    grid.  ``jobs`` is clamped to the shard count (an idle worker would
+    own no shard) and, with ``clamp=True``, to ``os.cpu_count()`` —
+    a single effective worker runs the in-process short-circuit
+    instead of a pipe-driven pool.  ``rehome_factor`` bounds the
+    tolerated max/mean load skew before a dynamic re-home (``None``
+    disables re-homing); the schedule is deterministic for a given
+    trace, so forward sets stay byte-identical at any setting.
     """
     if steps < 0:
         raise ValueError(f"steps must be non-negative, got {steps}")
@@ -432,6 +752,8 @@ def run_sharded_mobility_sweep(
         k,
         shards,
         jobs,
+        clamp,
+        rehome_factor,
     )
 
 
@@ -441,13 +763,17 @@ def run_sharded_trace(
     k: int = 2,
     shards: Tuple[int, int] = (2, 2),
     jobs: int = 1,
+    clamp: bool = True,
+    rehome_factor: Optional[float] = 4.0,
 ) -> List[ShardedStep]:
     """Sharded sweep over a recorded :class:`FlipTrace`.
 
     Replays the trace's flip stream instead of a live model, so the
-    identical workload can A/B shard grids and worker counts (and be
-    compared against :func:`~repro.experiments.runner.run_trace_sweep`,
-    the serial incremental replay).
+    identical workload can A/B shard grids, worker counts, and re-home
+    schedules (and be compared against
+    :func:`~repro.experiments.runner.run_trace_sweep`, the serial
+    incremental replay).  See :func:`run_sharded_mobility_sweep` for
+    the ``clamp``/``rehome_factor`` semantics.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -460,4 +786,6 @@ def run_sharded_trace(
         k,
         shards,
         jobs,
+        clamp,
+        rehome_factor,
     )

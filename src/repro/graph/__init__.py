@@ -34,7 +34,7 @@ from .io import (
 )
 from .mobility import RandomWaypointModel, SnapshotDelta
 from .fliptrace import FlipStep, FlipTrace, record_flip_trace
-from .sharding import ShardAssignment, ShardGrid
+from .sharding import ShardAssignment, ShardGrid, ShardSubgraph
 
 __all__ = [
     "Area",
@@ -81,4 +81,5 @@ __all__ = [
     "record_flip_trace",
     "ShardAssignment",
     "ShardGrid",
+    "ShardSubgraph",
 ]

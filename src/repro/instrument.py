@@ -24,8 +24,9 @@ across the process pool (workers ship plain dicts back to the parent;
 see :mod:`repro.experiments.parallel`).
 
 Counter semantics: every field is a monotone sum except the fields in
-:data:`MAX_FIELDS` (currently the scheduler's maximum queue depth),
-which merge by maximum.
+:data:`MAX_FIELDS` (high-water marks: the scheduler's maximum queue
+depth, the service egress-queue peak, and the sharded driver's largest
+partial-replica node count), which merge by maximum.
 """
 
 from __future__ import annotations
@@ -43,7 +44,9 @@ __all__ = [
 ]
 
 #: Fields that merge by ``max`` instead of ``+`` (high-water marks).
-MAX_FIELDS = frozenset({"scheduler_max_queue_depth", "queue_depth_max"})
+MAX_FIELDS = frozenset(
+    {"scheduler_max_queue_depth", "queue_depth_max", "replica_nodes_max"}
+)
 
 
 @dataclass
@@ -99,6 +102,18 @@ class InstrumentationCounters:
     shard_handoff_redecides: int = 0
     #: Link flips whose endpoints' routed shard sets span >1 shard.
     shard_boundary_flips: int = 0
+    #: Link flips applied across shard partial replicas — a flip routed
+    #: to ``m`` shard universes counts ``m`` times, so the gap to the
+    #: serial sweep's flip count is the routing duplication volume.
+    shard_flips_applied: int = 0
+    #: High-water node count of any single shard's partial replica
+    #: (merge: max).  ``replica_nodes_max < n`` is the proof that the
+    #: partial-replica bound was exercised rather than silently
+    #: bypassed by a full copy.
+    replica_nodes_max: int = 0
+    #: Dynamic re-partitions: step boundaries where the parent re-split
+    #: the shard grid and shipped fresh subgraph snapshots.
+    shard_rehomes: int = 0
     # sim/hello.py
     hello_messages: int = 0
     # sim/reliable.py

@@ -829,24 +829,40 @@ class ShardStateIntegrityRule(Rule):
     description = (
         "The sharded mobility driver's determinism contract (merged "
         "forward sets byte-identical to the serial incremental path at "
-        "any worker count) holds only while every worker replica stays "
-        "in lockstep — advanced exclusively through the driver's own "
-        "step protocol.  Flags writes or mutator calls on the "
-        "_replica/_shard_metrics state of a foreign instance, del "
-        "statements on them, and calls to the private worker internals "
-        "(_sync_replica, _redecide) on a foreign receiver; route work "
-        "through run_sharded_mobility_sweep / run_sharded_trace "
-        "instead."
+        "any worker count) holds only while every shard's partial "
+        "replica equals the induced global graph on its universe — "
+        "advanced exclusively through the driver's own step protocol.  "
+        "Flags writes, del statements, or mutator calls on the "
+        "_replica/_shard_metrics worker state and the "
+        "_subgraph/_global_nodes/_local_of partial-replica state "
+        "(including the local<->global id mapping) of a foreign "
+        "instance, and calls to the private worker internals "
+        "(_sync_replica, _redecide, _rehome, _install) on a foreign "
+        "receiver; route work through run_sharded_mobility_sweep / "
+        "run_sharded_trace instead."
     )
 
-    STATE_ATTRS = frozenset({"_replica", "_shard_metrics"})
-    PRIVATE_API = frozenset({"_sync_replica", "_redecide"})
-    MUTATORS = CacheMutationRule.MUTATORS
+    STATE_ATTRS = frozenset(
+        {"_replica", "_shard_metrics", "_subgraph", "_global_nodes",
+         "_local_of"}
+    )
+    PRIVATE_API = frozenset(
+        {"_sync_replica", "_redecide", "_rehome", "_install"}
+    )
+    #: The dict/set mutators plus the topology mutators: calling
+    #: e.g. ``sub._subgraph.add_edge(...)`` from outside desynchronises
+    #: the replica from the induced global graph exactly like
+    #: reassigning it.
+    MUTATORS = CacheMutationRule.MUTATORS | frozenset(
+        {"add_edge", "remove_edge", "add_node", "remove_node",
+         "apply_delta"}
+    )
 
     def applies_to(self, path: str) -> bool:
         parts = path_parts(path)
-        # sharded.py owns the invariant; everywhere else must go
-        # through the public sweep entry points.
+        # sharded.py owns the invariant (ShardSubgraph in sharding.py
+        # mutates only through self, so it stays in scope); everywhere
+        # else must go through the public sweep entry points.
         return "tests" not in parts and parts[-1:] != ("sharded.py",)
 
     def check(self, ctx: LintContext) -> Iterator[Finding]:

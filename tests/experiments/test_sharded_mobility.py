@@ -12,13 +12,18 @@ import random
 
 import pytest
 
-from repro.core.priority import DegreePriority, NcrPriority
+from repro.core.priority import (
+    DegreePriority,
+    NcrPriority,
+    RandomEpochPriority,
+)
 from repro.experiments import (
     run_mobility_sweep,
     run_sharded_mobility_sweep,
     run_sharded_trace,
     run_trace_sweep,
 )
+from repro.experiments.sharded import _route_flips
 from repro.graph import (
     Area,
     FlipStep,
@@ -30,6 +35,7 @@ from repro.graph import (
 )
 from repro.graph.geometry import Point
 from repro.graph.mobility import RandomWaypointModel
+from repro.instrument import collecting
 
 SEEDS = range(50)
 BACKENDS = ("sets", "bitset", "numpy")
@@ -77,6 +83,7 @@ def test_sharded_matches_serial_and_rebuild(seed, monkeypatch):
     sharded = run_sharded_mobility_sweep(
         _model(seed), 5, 1.0,
         scheme=scheme_factory(), k=2, shards=grid, jobs=jobs,
+        clamp=False,  # exercise real fork pools even on a 1-core box
     )
     assert _payload(serial) == _payload(rebuilt)
     assert _payload(serial) == _payload(sharded)
@@ -148,7 +155,7 @@ def test_three_shard_handoff(jobs):
     scheme = DegreePriority()
     serial = run_trace_sweep(trace, scheme=scheme, k=2)
     sharded = run_sharded_trace(
-        trace, scheme=scheme, k=2, shards=(3, 1), jobs=jobs
+        trace, scheme=scheme, k=2, shards=(3, 1), jobs=jobs, clamp=False
     )
     assert _payload(serial) == _payload(sharded)
     middle = sharded[1]
@@ -196,7 +203,7 @@ def test_trace_replay_matches_live_sweep():
     replayed = run_trace_sweep(trace, scheme=scheme, k=2)
     assert _payload(live) == _payload(replayed)
     sharded = run_sharded_trace(
-        trace, scheme=scheme, k=2, shards=(2, 2), jobs=2
+        trace, scheme=scheme, k=2, shards=(2, 2), jobs=2, clamp=False
     )
     assert _payload(live) == _payload(sharded)
 
@@ -213,3 +220,140 @@ def test_fliptrace_rejects_bad_header():
         FlipTrace.from_jsonl_lines([])
     with pytest.raises(ValueError):
         FlipTrace.from_jsonl_lines(['{"format": "other", "version": 1}'])
+
+
+# ----------------------------------------------------------------------
+# Partial replicas: flip routing, locality rejection, counters
+# ----------------------------------------------------------------------
+
+
+def test_flip_outside_universe_is_never_shipped():
+    universes = {0: {0, 1, 2, 3}, 1: {3, 4, 5, 6}}
+    routed = _route_flips(universes, ((4, 5),), ((0, 1),))
+    # Each flip reaches exactly the shards holding BOTH endpoints.
+    assert routed == {0: ((), ((0, 1),)), 1: (((4, 5),), ())}
+    # An edge spanning two universes without a common holder ships
+    # nowhere: it exists in neither induced subgraph.
+    assert _route_flips(universes, ((2, 4),), ()) == {}
+    assert _route_flips(universes, (), ()) == {}
+
+
+def test_random_epoch_scheme_rejected_on_partial_replicas():
+    # The rank-ordered per-epoch draw reads the whole node set, so its
+    # values cannot be reproduced on a partial replica.
+    assert RandomEpochPriority.metric_value_radius is None
+    with pytest.raises(ValueError, match="metric_value_radius"):
+        run_sharded_mobility_sweep(
+            _model(7), 2, 1.0, scheme=RandomEpochPriority()
+        )
+
+
+def test_bad_rehome_factor_rejected():
+    with pytest.raises(ValueError, match="rehome_factor"):
+        run_sharded_mobility_sweep(_model(7), 2, 1.0, rehome_factor=0.5)
+
+
+@pytest.mark.parametrize("jobs", (1, 2))
+def test_counters_jobs_invariant_and_serial_equal(jobs):
+    trace = record_flip_trace(_model(21), 6, 1.0)
+    scheme = DegreePriority()
+    with collecting() as serial_counters:
+        serial = run_trace_sweep(trace, scheme=scheme, k=2)
+    with collecting() as base_counters:
+        base = run_sharded_trace(
+            trace, scheme=scheme, k=2, shards=(2, 2), jobs=1, clamp=False
+        )
+    with collecting() as counters:
+        sharded = run_sharded_trace(
+            trace, scheme=scheme, k=2, shards=(2, 2), jobs=jobs,
+            clamp=False,
+        )
+    assert _payload(serial) == _payload(base) == _payload(sharded)
+    # The per-shard partial replicas are jobs-invariant, so the merged
+    # counters must equal the jobs=1 totals field for field.
+    invariant = (
+        "shard_flips_applied",
+        "replica_nodes_max",
+        "shard_rehomes",
+        "shard_redecides",
+        "shard_handoff_redecides",
+        "shard_boundary_flips",
+        "coverage_evaluations",
+    )
+    for field in invariant:
+        assert getattr(counters, field) == getattr(base_counters, field), field
+    # Owner-only shipping evaluates each stale node exactly once, so
+    # coverage work equals the serial sweep's.
+    assert counters.coverage_evaluations == (
+        serial_counters.coverage_evaluations
+    )
+    assert 0 < counters.replica_nodes_max <= 24
+
+
+# ----------------------------------------------------------------------
+# Dynamic re-homing: a skewed trace forces a mid-run re-partition
+# ----------------------------------------------------------------------
+
+
+def _skewed_trace(toggles: int = 4) -> FlipTrace:
+    """A 13-node chain whose flips all hit the left end.
+
+    Every flip toggles the (0, 1) link, so the whole dirty load lands
+    in the left shard of a (2, 1) grid — the max/mean skew a re-home
+    exists to fix.
+    """
+    positions = {i: Point(0.5 + i, 0.5) for i in range(13)}
+    steps = [FlipStep(step=0, time=1.0, added=(), removed=())]
+    for index in range(toggles):
+        removing = index % 2 == 0
+        steps.append(
+            FlipStep(
+                step=index + 1,
+                time=float(index + 2),
+                added=() if removing else ((0, 1),),
+                removed=((0, 1),) if removing else (),
+            )
+        )
+    return FlipTrace(positions=positions, radius=1.0, steps=tuple(steps))
+
+
+@pytest.mark.parametrize("jobs", (1, 2))
+def test_rehome_fires_and_preserves_identity(jobs):
+    trace = _skewed_trace()
+    scheme = DegreePriority()
+    serial = run_trace_sweep(trace, scheme=scheme, k=2)
+    with collecting() as counters:
+        sharded = run_sharded_trace(
+            trace, scheme=scheme, k=2, shards=(2, 1), jobs=jobs,
+            clamp=False, rehome_factor=1.5,
+        )
+    assert _payload(serial) == _payload(sharded)
+    rehomed_steps = [s.step for s in sharded if s.rehomed]
+    # The first loaded window (step 1: dirty nodes 0..3, all owned by
+    # the left shard) trips the 1.5x skew gate and moves the split;
+    # the identical skew afterwards reproduces the same weighted split,
+    # so the re-home fires exactly once.
+    assert rehomed_steps == [1]
+    assert counters.shard_rehomes == 1
+
+
+def test_rehome_schedule_is_jobs_invariant():
+    trace = _skewed_trace()
+    scheme = DegreePriority()
+    flags = []
+    for jobs in (1, 2, 4):
+        sharded = run_sharded_trace(
+            trace, scheme=scheme, k=2, shards=(2, 1), jobs=jobs,
+            clamp=False, rehome_factor=1.5,
+        )
+        flags.append(tuple(s.rehomed for s in sharded))
+    assert flags[0] == flags[1] == flags[2]
+
+
+def test_rehome_disabled_with_none():
+    trace = _skewed_trace()
+    sharded = run_sharded_trace(
+        trace, scheme=DegreePriority(), k=2, shards=(2, 1),
+        rehome_factor=None,
+    )
+    assert not any(s.rehomed for s in sharded)

@@ -1,11 +1,14 @@
 """Tests for the spatial shard grid geometry."""
 
+import pickle
 import random
 
 import pytest
 
 from repro.graph.geometry import Area, Point, random_points
-from repro.graph.sharding import ShardGrid
+from repro.graph.sharding import ShardGrid, ShardSubgraph
+from repro.graph.topology import Topology
+from repro.instrument import collecting
 
 
 def _positions(seed: int = 3, count: int = 60):
@@ -117,3 +120,124 @@ class TestShardGridGeometry:
             if len(wide.touching(p)) > len(tight.touching(p)):
                 widened += 1
         assert widened > 0, "halo of 2 cells never widened any routing"
+
+
+class TestWeightedSplitsAndHaloOverride:
+    def test_weighted_splits_follow_the_load(self):
+        # All the weight in the first two cells pulls the boundary left.
+        assert ShardGrid._weighted_splits([10, 10, 1, 1, 1, 1], 2) == [0, 2, 6]
+        # Uniform weights reproduce the balanced split.
+        assert ShardGrid._weighted_splits([1] * 10, 2) == [0, 5, 10]
+        # All-zero weights degenerate to the uniform split.
+        assert ShardGrid._weighted_splits([0] * 10, 2) == ShardGrid._splits(10, 2)
+
+    def test_weighted_splits_allow_zero_width_runs(self):
+        starts = ShardGrid._weighted_splits([100, 1, 1], 3)
+        assert starts[0] == 0 and starts[-1] == 3
+        assert starts == sorted(starts)
+
+    def test_weight_vectors_must_cover_the_extent(self):
+        positions = _positions()
+        grid = ShardGrid(positions, 12.0, shape=(2, 2))
+        x_extent, y_extent = grid.extents
+        with pytest.raises(ValueError):
+            ShardGrid(
+                positions, 12.0, shape=(2, 2),
+                x_weights=[1.0] * (x_extent + 1),
+            )
+        with pytest.raises(ValueError):
+            ShardGrid(
+                positions, 12.0, shape=(2, 2),
+                y_weights=[1.0] * (y_extent + 1),
+            )
+
+    def test_weighted_grid_routes_like_its_splits(self):
+        positions = _positions()
+        grid = ShardGrid(
+            positions, 12.0, shape=(2, 1), halo_cells=1,
+            x_weights=[1.0] * ShardGrid(positions, 12.0).extents[0],
+        )
+        uniform = ShardGrid(positions, 12.0, shape=(2, 1), halo_cells=1)
+        assert grid.splits == uniform.splits
+        for p in positions.values():
+            assert grid.owner_of(p) == uniform.owner_of(p)
+
+    def test_touching_halo_override(self):
+        positions = _positions()
+        grid = ShardGrid(positions, 12.0, shape=(3, 3), halo_cells=0)
+        for p in positions.values():
+            # Explicit halo widens routing beyond the grid default...
+            assert set(grid.touching(p)) <= set(grid.touching(p, halo_cells=2))
+            # ...and a None override means the grid default.
+            assert grid.touching(p, halo_cells=None) == grid.touching(p)
+        with pytest.raises(ValueError):
+            grid.touching(next(iter(positions.values())), halo_cells=-1)
+
+    def test_offsets_of_matches_owner_blocks(self):
+        positions = _positions()
+        grid = ShardGrid(positions, 12.0, shape=(3, 2), halo_cells=1)
+        x_extent, y_extent = grid.extents
+        for p in positions.values():
+            ox, oy = grid.offsets_of(p)
+            assert 0 <= ox < x_extent
+            assert 0 <= oy < y_extent
+
+
+class TestShardSubgraph:
+    def _line_topology(self, n=8):
+        return Topology(nodes=range(n), edges=[(i, i + 1) for i in range(n - 1)])
+
+    def test_extract_induced_subgraph_in_parent_order(self):
+        topo = self._line_topology()
+        sub = ShardSubgraph.extract(2, topo, [5, 3, 4])  # arbitrary order
+        assert sub.shard_id == 2
+        # Universe follows the parent's insertion order, not the
+        # caller's, so local ids are byte-stable.
+        assert sub.global_nodes == (3, 4, 5)
+        assert sorted(sub.graph.edges()) == [(3, 4), (4, 5)]
+        assert len(sub) == 3
+        assert 4 in sub and 6 not in sub
+
+    def test_local_global_round_trip(self):
+        topo = self._line_topology()
+        sub = ShardSubgraph.extract(0, topo, [2, 3, 4, 5])
+        for node in sub.global_nodes:
+            assert sub.to_global(sub.to_local(node)) == node
+        index = sub.graph.node_index()
+        for node in sub.global_nodes:
+            assert index.position(node) == sub.to_local(node)
+        with pytest.raises(KeyError):
+            sub.to_local(7)
+
+    def test_apply_flips_filters_foreign_endpoints(self):
+        topo = self._line_topology()
+        sub = ShardSubgraph.extract(0, topo, [2, 3, 4])
+        # (4, 5) has endpoint 5 outside the universe: dropped.
+        assert sub.apply_flips([(2, 4)], [(4, 5)]) == 1
+        assert sorted(sub.graph.edges()) == [(2, 3), (2, 4), (3, 4)]
+
+    def test_apply_flips_counts_into_the_active_scope(self):
+        topo = self._line_topology()
+        sub = ShardSubgraph.extract(0, topo, [2, 3, 4])
+        with collecting() as counters:
+            sub.apply_flips([(2, 4)], [(3, 4)])
+        assert counters.shard_flips_applied == 2
+
+    def test_pickle_round_trip_is_compact_and_equal(self):
+        topo = self._line_topology()
+        sub = ShardSubgraph.extract(
+            1, topo, [2, 3, 4], positions={i: Point(float(i), 0.5) for i in range(8)}
+        )
+        clone = pickle.loads(pickle.dumps(sub))
+        assert clone.shard_id == sub.shard_id
+        assert clone.global_nodes == sub.global_nodes
+        assert sorted(clone.graph.edges()) == sorted(sub.graph.edges())
+        assert clone.positions == {i: Point(float(i), 0.5) for i in (2, 3, 4)}
+        # The wire state is the compact tuple form, not the replica's
+        # memoised mask tables.
+        state = sub.__getstate__()
+        assert set(state) == {"shard_id", "nodes", "edges", "positions"}
+
+    def test_duplicate_universe_rejected(self):
+        with pytest.raises(ValueError):
+            ShardSubgraph(0, [1, 2, 2], [])

@@ -13,5 +13,19 @@ class OwnShard:
         self._shard_metrics = None
 
 
+class OwnPartial:
+    """A class owning its partial-replica state mutates it via self."""
+
+    def __init__(self, nodes, topology):
+        self._global_nodes = tuple(nodes)
+        self._local_of = {node: i for i, node in enumerate(nodes)}
+        self._subgraph = topology
+
+    def adopt(self, nodes, topology):
+        self._global_nodes = tuple(nodes)
+        self._local_of = {node: i for i, node in enumerate(nodes)}
+        self._subgraph = topology
+
+
 def sweep(model, steps, dt, run_sharded_mobility_sweep):
     return run_sharded_mobility_sweep(model, steps, dt, shards=(2, 2), jobs=2)

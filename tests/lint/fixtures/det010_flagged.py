@@ -6,3 +6,10 @@ def meddle(worker, fresh_topology):
     worker._shard_metrics.clear()  # flagged: metric table wiped externally
     del worker._replica  # flagged: replica dropped behind the pool's back
     worker._sync_replica([], [])  # flagged: private step protocol, foreign
+
+
+def meddle_partial(sub, worker, replacement):
+    sub._local_of[99] = 0  # flagged: local<->global mapping rewritten
+    sub._global_nodes = ()  # flagged: id table swapped externally
+    sub._subgraph.add_edge(1, 2)  # flagged: partial topology mutated directly
+    worker._rehome(replacement)  # flagged: private re-home protocol, foreign

@@ -27,7 +27,7 @@ CASES = {
     "DET007": ("det007", "src/repro/metrics/sample.py", 2),
     "DET008": ("det008", "src/repro/sim/sample.py", 2),
     "DET009": ("det009", "src/repro/sim/sample.py", 4),
-    "DET010": ("det010", "src/repro/experiments/sample.py", 4),
+    "DET010": ("det010", "src/repro/experiments/sample.py", 8),
     "DET011": ("det011", "src/repro/sim/sample.py", 5),
     "DET012": ("det012", "src/repro/sim/sample.py", 2),
     "DET013": ("det013", "src/repro/experiments/sample.py", 4),

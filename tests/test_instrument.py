@@ -28,6 +28,18 @@ class TestCounters:
         assert a.transmissions == 7
         assert a.scheduler_max_queue_depth == 5  # max, not 7
 
+    def test_shard_counters_merge_sum_max_sum(self):
+        a = InstrumentationCounters(
+            shard_flips_applied=3, replica_nodes_max=120, shard_rehomes=1
+        )
+        b = InstrumentationCounters(
+            shard_flips_applied=4, replica_nodes_max=80, shard_rehomes=2
+        )
+        a.merge(b)
+        assert a.shard_flips_applied == 7  # sum
+        assert a.replica_nodes_max == 120  # high-water mark
+        assert a.shard_rehomes == 3  # sum
+
     def test_add_returns_fresh_object(self):
         a = InstrumentationCounters(decisions=1)
         b = InstrumentationCounters(decisions=2)
